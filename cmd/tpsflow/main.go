@@ -1,0 +1,95 @@
+// Tpsflow runs the TPS or SPR flow on a design — either a generated
+// synthetic one or a .tpn netlist — and prints the closure metrics.
+//
+// Usage:
+//
+//	tpsflow -flow tps -gates 2000 -levels 12 -seed 1 [-v]
+//	tpsflow -flow spr -in design.tpn
+//	tpsflow -flow tps -gates 2000 -out placed.tpn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tps"
+)
+
+func main() {
+	flow := flag.String("flow", "tps", "flow to run: tps or spr")
+	in := flag.String("in", "", "input .tpn netlist (omit to generate)")
+	out := flag.String("out", "", "write the final design as .tpn")
+	gates := flag.Int("gates", 2000, "generated design: combinational gate count")
+	levels := flag.Int("levels", 12, "generated design: logic depth")
+	seed := flag.Int64("seed", 1, "generator / flow seed")
+	des := flag.Int("des", 0, "use Table 1 design Des<n> (1–5) instead of -gates")
+	scale := flag.Float64("scale", 0.1, "scale factor for -des designs")
+	verbose := flag.Bool("v", false, "print flow progress")
+	flag.Parse()
+
+	var d *tps.Design
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		d, err = tps.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	case *des >= 1 && *des <= 5:
+		p := tps.Table1Params(*des, *scale)
+		p.Seed = *seed
+		d = tps.NewDesign(p)
+	default:
+		d = tps.NewDesign(tps.DesignParams{
+			Name: "gen", NumGates: *gates, Levels: *levels, Seed: *seed,
+		})
+	}
+	defer d.Close()
+	if *verbose {
+		d.SetLog(os.Stderr)
+	}
+
+	w, h := d.Chip()
+	fmt.Printf("design %s: %d gates, %d nets, die %.0f×%.0f µm, period %.0f ps\n",
+		d.Netlist().Name, d.Netlist().NumGates(), d.Netlist().NumNets(), w, h, d.Period())
+
+	var m tps.Metrics
+	switch *flow {
+	case "tps":
+		m = d.RunTPS(tps.DefaultTPSOptions())
+	case "spr":
+		m = d.RunSPR(tps.DefaultSPROptions())
+	default:
+		fatal(fmt.Errorf("unknown flow %q (want tps or spr)", *flow))
+	}
+
+	fmt.Printf("%-4s slack=%.0fps cycle=%.0fps area=%.0fµm² icells=%d\n",
+		m.Flow, m.WorstSlack, m.CycleAchieved, m.AreaUm2, m.ICells)
+	fmt.Printf("     wire: steiner=%.0fµm routed=%.0fµm overflows=%d\n",
+		m.SteinerWireUm, m.RoutedWireUm, m.RouteOverflows)
+	fmt.Printf("     congestion: Horiz %.0f/%.0f Vert %.0f/%.0f (pk/avg wires cut)\n",
+		m.HorizPeak, m.HorizAvg, m.VertPeak, m.VertAvg)
+	fmt.Printf("     cpu=%.1fs iterations=%d\n", m.CPUSeconds, m.Iterations)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := d.Save(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tpsflow:", err)
+	os.Exit(1)
+}

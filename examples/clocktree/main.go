@@ -1,0 +1,76 @@
+// Clocktree demonstrates the §4.5 clock and scan schedule on a scattered
+// register bank: with clock nets weighted zero and buffer area parked
+// inside the registers, data placement settles first; then the clock tree
+// is rebuilt geometrically in the freed space, and finally the scan chain
+// is restitched along a nearest-neighbor tour. Both wire totals drop
+// sharply.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tps"
+	"tps/internal/clockscan"
+	"tps/internal/image"
+	"tps/internal/netlist"
+	"tps/internal/steiner"
+)
+
+func main() {
+	d := tps.NewDesign(tps.DesignParams{
+		Name:        "clockdemo",
+		NumGates:    800,
+		Levels:      8,
+		RegFraction: 0.3, // register-rich: clocking dominates
+		Seed:        11,
+	})
+	defer d.Close()
+	nl := d.Netlist()
+	w, h := d.Chip()
+
+	// Scatter the movable cells (a deliberately bad starting placement).
+	rng := rand.New(rand.NewSource(11))
+	nl.Gates(func(g *netlist.Gate) {
+		if !g.Fixed {
+			nl.MoveGate(g, rng.Float64()*w, rng.Float64()*h)
+		}
+	})
+
+	im := image.New(w, h, nl.Lib.Tech.RowHeight, 0.75)
+	for im.Level < im.MaxLevel {
+		im.Subdivide()
+	}
+	st := steiner.NewCache(nl)
+	sched := clockscan.NewScheduler(nl, im, st)
+
+	fmt.Printf("clock wire before: %8.0f µm\n", d.ClockWireLength())
+	fmt.Printf("scan  wire before: %8.0f µm\n", d.ScanWireLength())
+
+	// Walk the schedule exactly as the placement status would drive it.
+	for _, s := range []int{10, 30, 80} {
+		fired := sched.OnStatus(s)
+		for _, f := range fired {
+			fmt.Printf("status %3d → %s\n", s, f)
+		}
+	}
+
+	fmt.Printf("clock wire after:  %8.0f µm\n", d.ClockWireLength())
+	fmt.Printf("scan  wire after:  %8.0f µm\n", d.ScanWireLength())
+
+	// Every register must still be clocked and scannable.
+	regs, clocked, scanned := 0, 0, 0
+	nl.Gates(func(g *netlist.Gate) {
+		if !g.IsSequential() {
+			return
+		}
+		regs++
+		if ck := g.ClockPin(); ck != nil && ck.Net != nil {
+			clocked++
+		}
+		if si := g.Pin("SI"); si != nil && si.Net != nil {
+			scanned++
+		}
+	})
+	fmt.Printf("registers: %d, clocked: %d, in scan chain: %d\n", regs, clocked, scanned)
+}

@@ -1,0 +1,53 @@
+// Wireload reproduces the Figure 2 study on a single design: place it,
+// route it, and compare each net's Steiner wire-length prediction against
+// its routed length. The histogram's large-error tail comes from the
+// shortest nets — removing the shortest 10% and 20% collapses it, which is
+// why TPS can rely on Steiner estimates for its optimization decisions.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"tps"
+)
+
+func main() {
+	d := tps.NewDesign(tps.DesignParams{
+		Name:     "wireload",
+		NumGates: 1500,
+		Levels:   10,
+		Seed:     5,
+	})
+	defer d.Close()
+
+	opt := tps.DefaultTPSOptions()
+	opt.SkipRouting = true // the histogram routes for itself below
+	d.RunTPS(opt)
+
+	drops := []float64{0, 0.10, 0.20}
+	hists := d.WireLoadHistograms(drops, 5, 80)
+
+	fmt.Println("wire-load prediction error histograms (Figure 2)")
+	fmt.Println("error%   drop 0%   drop 10%  drop 20%")
+	for b := 0; b < len(hists[0].Counts); b++ {
+		lo := float64(b) * hists[0].BucketPct
+		fmt.Printf("%3.0f–%-3.0f", lo, lo+hists[0].BucketPct)
+		for _, h := range hists {
+			fmt.Printf("  %5d %s", h.Counts[b], bar(h.Counts[b]))
+		}
+		fmt.Println()
+	}
+	for i, h := range hists {
+		fmt.Printf("tail ≥30%% error with %.0f%% shortest dropped: %.1f%%\n",
+			drops[i]*100, h.TailFraction(30)*100)
+	}
+}
+
+func bar(n int) string {
+	w := n / 8
+	if w > 24 {
+		w = 24
+	}
+	return strings.Repeat("▍", w)
+}

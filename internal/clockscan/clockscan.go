@@ -1,0 +1,370 @@
+// Package clockscan implements the clock tree and scan chain net-length
+// optimization of §4.5 and its status schedule: at status 10 clock and
+// pure-scan net weights drop to zero, clock buffers shrink to zero
+// footprint and registers grow to reserve the space; at status 30 the
+// clock weights and sizes are restored and clock optimization reassigns
+// registers to buffers geometrically, placing each buffer in the freed
+// space at its cluster's center; at status 80 scan weights are restored
+// and the chain is reordered by register location.
+package clockscan
+
+import (
+	"math"
+	"sort"
+
+	"tps/internal/cell"
+	"tps/internal/image"
+	"tps/internal/netlist"
+	"tps/internal/steiner"
+)
+
+// Scheduler runs the §4.5 weight/size schedule against placement status.
+type Scheduler struct {
+	NL *netlist.Netlist
+	Im *image.Image
+	St *steiner.Cache
+
+	// RegisterGrow is the area-scale factor applied to registers while
+	// clock-buffer space is parked inside them.
+	RegisterGrow float64
+
+	did10, did30, did80 bool
+	savedClockW         map[int]float64
+	savedScanW          map[int]float64
+}
+
+// NewScheduler returns a scheduler; RegisterGrow defaults so total parked
+// area ≈ total clock-buffer area.
+func NewScheduler(nl *netlist.Netlist, im *image.Image, st *steiner.Cache) *Scheduler {
+	s := &Scheduler{NL: nl, Im: im, St: st, RegisterGrow: 1.0}
+	t := nl.Lib.Tech
+	var bufArea, regArea float64
+	regs := 0
+	nl.Gates(func(g *netlist.Gate) {
+		switch {
+		case g.Cell.Function == cell.FuncClkBuf:
+			bufArea += g.Area(t)
+		case g.IsSequential():
+			regArea += g.Area(t)
+			regs++
+		}
+	})
+	if regArea > 0 {
+		s.RegisterGrow = 1 + bufArea/regArea
+	}
+	return s
+}
+
+// OnStatus fires any schedule points at or below the given status that
+// have not fired yet. Returns the names of the stages executed.
+func (s *Scheduler) OnStatus(status int) []string {
+	var fired []string
+	if status >= 10 && !s.did10 {
+		s.did10 = true
+		s.stage10()
+		fired = append(fired, "park-clock-scan")
+	}
+	if status >= 30 && !s.did30 {
+		s.did30 = true
+		s.stage30()
+		fired = append(fired, "clock-optimization")
+	}
+	if status >= 80 && !s.did80 {
+		s.did80 = true
+		s.stage80()
+		fired = append(fired, "scan-optimization")
+	}
+	return fired
+}
+
+// stage10: zero clock and scan net weights; shrink clock buffers; grow
+// registers to bank the buffer area near the registers.
+func (s *Scheduler) stage10() {
+	s.savedClockW = map[int]float64{}
+	s.savedScanW = map[int]float64{}
+	s.NL.Nets(func(n *netlist.Net) {
+		switch n.Kind {
+		case netlist.Clock:
+			s.savedClockW[n.ID] = n.BaseWeight
+			s.NL.SetNetWeight(n, 0)
+		case netlist.Scan:
+			s.savedScanW[n.ID] = n.BaseWeight
+			s.NL.SetNetWeight(n, 0)
+		}
+	})
+	s.NL.Gates(func(g *netlist.Gate) {
+		switch {
+		case g.Cell.Function == cell.FuncClkBuf:
+			s.NL.SetAreaScale(g, 0)
+		case g.IsSequential():
+			s.NL.SetAreaScale(g, s.RegisterGrow)
+		}
+	})
+}
+
+// stage30: restore clock weights and sizes, then optimize the clock tree.
+func (s *Scheduler) stage30() {
+	s.NL.Nets(func(n *netlist.Net) {
+		if w, ok := s.savedClockW[n.ID]; ok {
+			s.NL.SetNetWeight(n, w)
+		}
+	})
+	s.NL.Gates(func(g *netlist.Gate) {
+		if g.Cell.Function == cell.FuncClkBuf || g.IsSequential() {
+			s.NL.SetAreaScale(g, 1)
+		}
+	})
+	OptimizeClock(s.NL, s.Im)
+}
+
+// stage80: restore scan weights, then reorder the chain.
+func (s *Scheduler) stage80() {
+	s.NL.Nets(func(n *netlist.Net) {
+		if w, ok := s.savedScanW[n.ID]; ok {
+			s.NL.SetNetWeight(n, w)
+		}
+	})
+	OptimizeScan(s.NL)
+}
+
+// ---- clock optimization ----
+
+// OptimizeClock reassigns registers to clock buffers by geometric
+// clustering (Lloyd iterations seeded from the current buffer count) and
+// moves each buffer to its cluster centroid, rebuilding the leaf nets.
+// Returns the total clock net length after optimization.
+func OptimizeClock(nl *netlist.Netlist, im *image.Image) float64 {
+	var bufs []*netlist.Gate
+	var regs []*netlist.Gate
+	nl.Gates(func(g *netlist.Gate) {
+		switch {
+		case g.Cell.Function == cell.FuncClkBuf:
+			bufs = append(bufs, g)
+		case g.IsSequential():
+			regs = append(regs, g)
+		}
+	})
+	if len(bufs) == 0 || len(regs) == 0 {
+		return ClockNetLength(nl)
+	}
+
+	// Lloyd clustering of register positions, k = len(bufs), seeded by
+	// spreading initial centers over the register bounding box diagonal.
+	k := len(bufs)
+	cx := make([]float64, k)
+	cy := make([]float64, k)
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].X != regs[j].X {
+			return regs[i].X < regs[j].X
+		}
+		return regs[i].ID < regs[j].ID
+	})
+	for c := 0; c < k; c++ {
+		r := regs[(c*len(regs))/k]
+		cx[c], cy[c] = r.X, r.Y
+	}
+	assign := make([]int, len(regs))
+	for iter := 0; iter < 8; iter++ {
+		changed := false
+		for i, r := range regs {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				d := math.Abs(r.X-cx[c]) + math.Abs(r.Y-cy[c])
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		var sx, sy []float64
+		var cnt []int
+		sx = make([]float64, k)
+		sy = make([]float64, k)
+		cnt = make([]int, k)
+		for i, r := range regs {
+			sx[assign[i]] += r.X
+			sy[assign[i]] += r.Y
+			cnt[assign[i]]++
+		}
+		for c := 0; c < k; c++ {
+			if cnt[c] > 0 {
+				cx[c] = sx[c] / float64(cnt[c])
+				cy[c] = sy[c] / float64(cnt[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Rewire: buffer c drives exactly cluster c's clock pins. Ensure every
+	// buffer has a leaf net to drive.
+	for _, b := range bufs {
+		if b.Output().Net == nil {
+			leaf := nl.AddNet(b.Name + "_leaf")
+			nl.Connect(b.Output(), leaf)
+		}
+	}
+	for i, r := range regs {
+		ck := r.ClockPin()
+		if ck == nil {
+			continue
+		}
+		want := bufs[assign[i]].Output().Net
+		if ck.Net != want {
+			nl.MovePin(ck, want)
+		}
+	}
+	// Move each buffer into the freed register space at its centroid.
+	t := nl.Lib.Tech
+	for c, b := range bufs {
+		if b.Fixed {
+			continue
+		}
+		if im != nil {
+			im.Withdraw(b.X, b.Y, b.Area(t))
+		}
+		nl.MoveGate(b, cx[c], cy[c])
+		if im != nil {
+			im.Deposit(b.X, b.Y, b.Area(t))
+		}
+	}
+	// Empty leaves are fine (unused buffers simply idle); classification
+	// stays Clock because sinks are clock pins.
+	return ClockNetLength(nl)
+}
+
+// ClockNetLength returns the total Steiner length of clock nets.
+func ClockNetLength(nl *netlist.Netlist) float64 {
+	var total float64
+	nl.Nets(func(n *netlist.Net) {
+		if n.Kind != netlist.Clock || n.NumPins() < 2 {
+			return
+		}
+		pts := make([]steiner.Point, n.NumPins())
+		for i, p := range n.Pins() {
+			pts[i] = steiner.Point{X: p.X(), Y: p.Y()}
+		}
+		total += steiner.Build(pts).Length
+	})
+	return total
+}
+
+// ---- scan optimization ----
+
+// OptimizeScan reorders the scan chain by a nearest-neighbor tour over
+// register locations starting from the scan-in pad, restitching SI pins
+// (Q→SI membership only; data connectivity is untouched). Returns the
+// total scan span length after reordering.
+func OptimizeScan(nl *netlist.Netlist) float64 {
+	regs, scanIn, scanOut := scanChain(nl)
+	if len(regs) < 2 {
+		return ScanLength(nl)
+	}
+
+	// Nearest-neighbor tour from the scan-in position.
+	startX, startY := 0.0, 0.0
+	if scanIn != nil {
+		startX, startY = scanIn.X, scanIn.Y
+	}
+	remaining := append([]*netlist.Gate(nil), regs...)
+	var order []*netlist.Gate
+	px, py := startX, startY
+	for len(remaining) > 0 {
+		best, bestD := 0, math.Inf(1)
+		for i, r := range remaining {
+			d := math.Abs(r.X-px) + math.Abs(r.Y-py)
+			if d < bestD || (d == bestD && r.ID < remaining[best].ID) {
+				best, bestD = i, d
+			}
+		}
+		r := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		order = append(order, r)
+		px, py = r.X, r.Y
+	}
+
+	// Restitch: disconnect all SI pins (and the scan-out pad), then chain.
+	for _, r := range regs {
+		if si := scanInPin(r); si != nil {
+			nl.Disconnect(si)
+		}
+	}
+	var outPin *netlist.Pin
+	if scanOut != nil {
+		outPin = scanOut.Pin("I")
+		nl.Disconnect(outPin)
+	}
+	if scanIn != nil {
+		first := scanInPin(order[0])
+		if first != nil {
+			nl.Connect(first, scanIn.Pin("O").Net)
+		}
+	}
+	for i := 1; i < len(order); i++ {
+		prevQ := order[i-1].Pin("Q")
+		si := scanInPin(order[i])
+		if prevQ.Net != nil && si != nil {
+			nl.Connect(si, prevQ.Net)
+		}
+	}
+	if outPin != nil {
+		lastQ := order[len(order)-1].Pin("Q")
+		if lastQ.Net != nil {
+			nl.Connect(outPin, lastQ.Net)
+		}
+	}
+	// Kinds may have changed (pure scan nets move around).
+	nl.ClassifyKinds()
+	return ScanLength(nl)
+}
+
+func scanInPin(g *netlist.Gate) *netlist.Pin {
+	for _, p := range g.Pins {
+		if p.Port().ScanIn {
+			return p
+		}
+	}
+	return nil
+}
+
+// scanChain finds the registers and the scan-in/out pads. Registers are
+// returned in netlist order (current chain order is irrelevant to the
+// optimizer).
+func scanChain(nl *netlist.Netlist) (regs []*netlist.Gate, scanIn, scanOut *netlist.Gate) {
+	nl.Gates(func(g *netlist.Gate) {
+		switch {
+		case g.IsSequential():
+			regs = append(regs, g)
+		case g.Name == "scan_in":
+			scanIn = g
+		case g.Name == "scan_out":
+			scanOut = g
+		}
+	})
+	return regs, scanIn, scanOut
+}
+
+// ScanLength returns the total length of scan spans: for every SI pin,
+// the Manhattan distance to its net's driver.
+func ScanLength(nl *netlist.Netlist) float64 {
+	var total float64
+	nl.Gates(func(g *netlist.Gate) {
+		if !g.IsSequential() {
+			return
+		}
+		si := scanInPin(g)
+		if si == nil || si.Net == nil {
+			return
+		}
+		d := si.Net.Driver()
+		if d == nil {
+			return
+		}
+		total += math.Abs(si.X()-d.X()) + math.Abs(si.Y()-d.Y())
+	})
+	return total
+}

@@ -1,0 +1,143 @@
+// Package congestion estimates wirability the way Table 1 reports it:
+// Steiner-tree wiring is rasterized onto the bin grid as canonical
+// L-shapes, each bin-boundary crossing consumes wiring capacity, and the
+// result is summarized as peak and average horizontal/vertical wires cut
+// per cut line. The per-edge demand is also deposited into the placement
+// image so transforms (circuit relocation, congestion-driven decisions)
+// can see it.
+package congestion
+
+import (
+	"math"
+
+	"tps/internal/image"
+	"tps/internal/netlist"
+	"tps/internal/steiner"
+)
+
+// Report summarizes wiring demand. Horiz counts horizontal wires crossing
+// vertical cut lines (peak and average over the NX−1 internal lines);
+// Vert counts vertical wires crossing horizontal cut lines.
+type Report struct {
+	HorizPeak, HorizAvg float64
+	VertPeak, VertAvg   float64
+	// OverflowEdges counts bin edges whose demand exceeds capacity.
+	OverflowEdges int
+	// TotalWireUm is the total rasterized wire length.
+	TotalWireUm float64
+}
+
+// Analyze rasterizes every live net's Steiner tree onto im (replacing
+// prior wire usage) and returns the cut-line summary.
+func Analyze(nl *netlist.Netlist, st *steiner.Cache, im *image.Image) Report {
+	for j := 0; j < im.NY; j++ {
+		for i := 0; i < im.NX; i++ {
+			b := im.At(i, j)
+			b.WireUsedH = 0
+			b.WireUsedV = 0
+		}
+	}
+	var total float64
+	nl.Nets(func(n *netlist.Net) {
+		t := st.Tree(n)
+		for _, e := range t.Edges {
+			p, q := t.Nodes[e.U], t.Nodes[e.V]
+			total += rasterizeL(im, p, q)
+		}
+	})
+
+	r := Report{TotalWireUm: total}
+	// Horizontal wires cross vertical boundaries: right-edge usage of
+	// column i is the crossing count of the line between columns i, i+1.
+	if im.NX > 1 {
+		for i := 0; i < im.NX-1; i++ {
+			var c float64
+			for j := 0; j < im.NY; j++ {
+				c += im.At(i, j).WireUsedH
+			}
+			r.HorizAvg += c
+			if c > r.HorizPeak {
+				r.HorizPeak = c
+			}
+		}
+		r.HorizAvg /= float64(im.NX - 1)
+	}
+	if im.NY > 1 {
+		for j := 0; j < im.NY-1; j++ {
+			var c float64
+			for i := 0; i < im.NX; i++ {
+				c += im.At(i, j).WireUsedV
+			}
+			r.VertAvg += c
+			if c > r.VertPeak {
+				r.VertPeak = c
+			}
+		}
+		r.VertAvg /= float64(im.NY - 1)
+	}
+	for j := 0; j < im.NY; j++ {
+		for i := 0; i < im.NX; i++ {
+			b := im.At(i, j)
+			if b.WireUsedH > b.WireCapH || b.WireUsedV > b.WireCapV {
+				r.OverflowEdges++
+			}
+		}
+	}
+	return r
+}
+
+// rasterizeL deposits the canonical L-shape (horizontal at p.Y, then
+// vertical at q.X) of edge p→q and returns its length.
+func rasterizeL(im *image.Image, p, q steiner.Point) float64 {
+	length := math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
+	// Horizontal run at y = p.Y from p.X to q.X.
+	depositH(im, p.Y, p.X, q.X)
+	// Vertical run at x = q.X from p.Y to q.Y.
+	depositV(im, q.X, p.Y, q.Y)
+	return length
+}
+
+// depositH adds one horizontal wire crossing for every vertical bin
+// boundary strictly inside (xa, xb) at height y.
+func depositH(im *image.Image, y, xa, xb float64) {
+	if xa > xb {
+		xa, xb = xb, xa
+	}
+	bw := im.BinW()
+	_, j := im.Loc((xa+xb)/2, y)
+	iStart := int(math.Ceil(xa/bw - 1e-9))
+	iEnd := int(math.Floor(xb/bw + 1e-9))
+	for i := iStart; i <= iEnd; i++ {
+		// Boundary between column i−1 and i.
+		c := i - 1
+		if c < 0 || c >= im.NX-1 {
+			continue
+		}
+		if bnd := float64(i) * bw; bnd <= xa+1e-9 || bnd >= xb-1e-9 {
+			continue
+		}
+		im.At(c, j).WireUsedH++
+	}
+}
+
+// depositV adds one vertical wire crossing for every horizontal bin
+// boundary strictly inside (ya, yb) at x.
+func depositV(im *image.Image, x, ya, yb float64) {
+	if ya > yb {
+		ya, yb = yb, ya
+	}
+	bh := im.BinH()
+	i, _ := im.Loc(x, (ya+yb)/2)
+	jStart := int(math.Ceil(ya/bh - 1e-9))
+	jEnd := int(math.Floor(yb/bh + 1e-9))
+	for j := jStart; j <= jEnd; j++ {
+		c := j - 1
+		if c < 0 || c >= im.NY-1 {
+			continue
+		}
+		if bnd := float64(j) * bh; bnd <= ya+1e-9 || bnd >= yb-1e-9 {
+			continue
+		}
+		im.At(i, c).WireUsedV++
+	}
+}

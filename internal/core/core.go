@@ -1,0 +1,463 @@
+// Package core is the TPS scenario engine (§5): it assembles the analyzers
+// (incremental timing, Steiner wire length, bin image) over a design and
+// sequences placement and synthesis transforms by placement status exactly
+// as the optimization flow chart of Figure 5 describes. The same package
+// implements the traditional synthesis–place–resynthesize (SPR) baseline
+// that Table 1 compares against.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tps/internal/clockscan"
+	"tps/internal/congestion"
+	"tps/internal/delay"
+	"tps/internal/gen"
+	"tps/internal/image"
+	"tps/internal/migrate"
+	"tps/internal/netlist"
+	"tps/internal/netweight"
+	"tps/internal/place"
+	"tps/internal/quadratic"
+	"tps/internal/relocate"
+	"tps/internal/route"
+	"tps/internal/sizing"
+	"tps/internal/steiner"
+	"tps/internal/synth"
+	"tps/internal/timing"
+)
+
+// Context bundles a design with its shared analyzers. Exactly one Context
+// should own a netlist at a time (analyzers subscribe to edits).
+type Context struct {
+	NL     *netlist.Netlist
+	Period float64
+	ChipW  float64
+	ChipH  float64
+	Seed   int64
+
+	Im   *image.Image
+	St   *steiner.Cache
+	Calc *delay.Calculator
+	Eng  *timing.Engine
+
+	// Log receives progress lines when non-nil.
+	Log io.Writer
+}
+
+// NewContext builds the analyzer stack over a generated design, starting
+// in gain-based timing mode (the early-flow model of §5).
+func NewContext(d *gen.Design, seed int64) *Context {
+	im := image.New(d.ChipW, d.ChipH, d.NL.Lib.Tech.RowHeight, 0.72)
+	st := steiner.NewCache(d.NL)
+	calc := delay.NewCalculator(d.NL, st, delay.GainBased)
+	eng := timing.New(d.NL, calc, d.Period)
+	return &Context{
+		NL: d.NL, Period: d.Period, ChipW: d.ChipW, ChipH: d.ChipH,
+		Seed: seed, Im: im, St: st, Calc: calc, Eng: eng,
+	}
+}
+
+// Close detaches the analyzers from the netlist.
+func (c *Context) Close() {
+	c.Eng.Close()
+	c.Calc.Close()
+	c.St.Close()
+}
+
+func (c *Context) logf(format string, args ...interface{}) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// Metrics mirrors the Table 1 columns plus the auxiliary quantities the
+// experiments track.
+type Metrics struct {
+	Flow   string
+	ICells int
+	// AreaUm2 is the total placeable cell area.
+	AreaUm2 float64
+	// WorstSlack in ps (negative = failing).
+	WorstSlack float64
+	// TNS in ps.
+	TNS float64
+	// CycleAchieved = Period − WorstSlack: the clock the design could
+	// actually run at.
+	CycleAchieved float64
+	// Congestion cut counts (Table 1 "Horiz pk/avg", "Vert pk/avg").
+	HorizPeak, HorizAvg float64
+	VertPeak, VertAvg   float64
+	// SteinerWireUm is the total Steiner wire length.
+	SteinerWireUm float64
+	// RoutedWireUm and RouteOverflows come from the global router.
+	RoutedWireUm   float64
+	RouteOverflows int
+	// CPUSeconds is wall time for the flow.
+	CPUSeconds float64
+	// Iterations is the number of outer synthesis↔placement loops the
+	// flow needed (1 for TPS by construction).
+	Iterations int
+}
+
+// Evaluate measures the current design state (timing, area, congestion,
+// routing) into a Metrics record.
+func (c *Context) Evaluate(flow string) Metrics {
+	m := Metrics{Flow: flow, Iterations: 1}
+	c.NL.Gates(func(g *netlist.Gate) {
+		if !g.IsPad() {
+			m.ICells++
+		}
+	})
+	m.AreaUm2 = c.NL.TotalCellArea()
+	m.WorstSlack = c.Eng.WorstSlack()
+	m.TNS = c.Eng.TNS()
+	m.CycleAchieved = c.Period - m.WorstSlack
+	rep := congestion.Analyze(c.NL, c.St, c.Im)
+	m.HorizPeak, m.HorizAvg = rep.HorizPeak, rep.HorizAvg
+	m.VertPeak, m.VertAvg = rep.VertPeak, rep.VertAvg
+	m.SteinerWireUm = c.St.Total()
+	return m
+}
+
+// TPSOptions tunes the Figure 5 scenario.
+type TPSOptions struct {
+	// Step is the status advance per loop iteration (§5: "placement
+	// advance in steps of a specified number", default 5).
+	Step int
+	// DiscretizeAt is the cut status T of Algorithm PlacementDisc where
+	// virtual discretization becomes actual and timing switches to real
+	// wire loads.
+	DiscretizeAt int
+	// WeightMode selects absolute or incremental net weighting (§4.3).
+	WeightMode netweight.Mode
+	// UseLogicalEffort toggles the g/gmax weight scaling (E7 ablation).
+	UseLogicalEffort bool
+	// DisableReflow skips the Reflow transform (E6 ablation).
+	DisableReflow bool
+	// VirtualDiscretization disables the virtual phase when false,
+	// discretizing actually from the first cut (E8 ablation).
+	VirtualDiscretization bool
+	// TransformBudget caps accepted changes per transform invocation
+	// (0 = unlimited).
+	TransformBudget int
+	// SkipRouting skips the final global route (faster tests).
+	SkipRouting bool
+	// DisableClockScanSchedule runs clock and scan optimization the
+	// traditional way — once, after placement — instead of through the
+	// §4.5 weight/size schedule (E9 ablation).
+	DisableClockScanSchedule bool
+}
+
+// DefaultTPSOptions mirrors the paper's scenario.
+func DefaultTPSOptions() TPSOptions {
+	return TPSOptions{
+		Step:                  5,
+		DiscretizeAt:          30,
+		WeightMode:            netweight.Incremental,
+		UseLogicalEffort:      true,
+		VirtualDiscretization: true,
+		TransformBudget:       64,
+	}
+}
+
+// RunTPS executes the TPS scenario of Figure 5 and returns the final
+// metrics. The input netlist needs no initial placement — the flow starts
+// from the bare netlist, which is the paper's headline capability.
+func RunTPS(c *Context, opt TPSOptions) Metrics {
+	start := time.Now()
+	if opt.Step <= 0 {
+		opt.Step = 5
+	}
+	if opt.DiscretizeAt <= 0 {
+		opt.DiscretizeAt = 30
+	}
+
+	placer := place.New(c.NL, c.Im, c.Seed)
+	sched := clockscan.NewScheduler(c.NL, c.Im, c.St)
+	weighter := netweight.New(c.NL, c.Eng, opt.WeightMode)
+	weighter.UseLogicalEffort = opt.UseLogicalEffort
+	weighter.Margin = 0.06 * c.Period
+	rel := relocate.New(c.NL, c.Eng, c.Im)
+	rel.SlackMargin = 0
+	mig := migrate.New(c.NL, c.Eng, c.Im)
+	mig.Margin = 0.08 * c.Period
+	so := synth.New(c.NL, c.Eng, c.Im, rel)
+	so.Margin = 0.08 * c.Period
+
+	// Initialization (Fig. 5): gain-based timing, uniform gains, clock
+	// tree and scan chain parked by the §4.5 schedule at status 10.
+	c.Eng.SetMode(delay.GainBased)
+	sizing.AssignGains(c.NL, 4)
+
+	discretized := false
+	status := 0
+	budget := opt.TransformBudget
+	electricalDone := false
+
+	// crossed reports whether advancing prev→cur entered or passed
+	// through the open status window (lo, hi) — the bin grid refines in
+	// coarse jumps, so exact range tests would skip windows entirely.
+	crossed := func(prev, cur, lo, hi int) bool {
+		return prev < hi && cur > lo
+	}
+
+	for status < 100 {
+		prev := status
+		status += opt.Step
+		if status > 100 {
+			status = 100
+		}
+		// Refine the image only when the advancing status target passes
+		// the next level threshold; between thresholds the loop keeps
+		// applying transforms on the placement plateau, exactly as the
+		// paper's step-5 scenario does.
+		if placer.Status() < status {
+			placer.Partition(status)
+			if !opt.DisableReflow {
+				placer.Reflow()
+			}
+		}
+		// Track the refining bin size in the §3 intra-bin wire estimate.
+		bd := c.Im.BinW()
+		if c.Im.BinH() > bd {
+			bd = c.Im.BinH()
+		}
+		if bd != c.Calc.BinDim {
+			c.Calc.SetBinDim(bd)
+			c.Eng.InvalidateAll()
+		}
+		if !opt.DisableClockScanSchedule {
+			sched.OnStatus(status)
+		}
+		weighter.Apply()
+
+		// Algorithm PlacementDisc: virtual below T, actual at T.
+		if !discretized {
+			if status >= opt.DiscretizeAt || !opt.VirtualDiscretization {
+				n := sizing.DiscretizeActual(c.NL, c.Calc)
+				c.Eng.SetMode(delay.Actual)
+				discretized = true
+				c.logf("status %3d: actual discretization of %d gates, timing → actual", status, n)
+			} else {
+				sizing.DiscretizeVirtual(c.NL, c.Calc)
+			}
+		}
+
+		if crossed(prev, status, 20, 30) {
+			n := sizing.SizeForArea(c.NL, c.Eng, 50)
+			c.logf("status %3d: area recovery resized %d", status, n)
+		}
+		if status > 30 && discretized {
+			n := sizing.SizeForSpeed(c.NL, c.Eng, c.Im, 60, budget)
+			c.logf("status %3d: speed sizing accepted %d", status, n)
+		}
+		if crossed(prev, status, 30, 50) && discretized {
+			nm := mig.Run()
+			ncl := so.CloneCritical(budget)
+			nbf := so.BufferCritical(budget)
+			c.logf("status %3d: migration %d, clones %d, buffers %d", status, nm, ncl, nbf)
+		}
+		if status > 50 {
+			np := so.PinSwap(budget)
+			nr := so.Remap(budget)
+			c.logf("status %3d: pin swaps %d, remaps %d", status, np, nr)
+			if !electricalDone && discretized {
+				ne := so.ElectricalCorrection(c.Calc)
+				electricalDone = true
+				c.logf("status %3d: electrical correction fixed %d", status, ne)
+			}
+		}
+		if status > 80 {
+			n := sizing.SizeForArea(c.NL, c.Eng, 80)
+			c.logf("status %3d: late area recovery resized %d", status, n)
+		}
+		rel.RelieveAll(0.25)
+		placer.SyncImage()
+	}
+
+	// Final stages of Fig. 5: detailed placement, routing, in-footprint
+	// sizing. Positions become exact, so the intra-bin estimate retires.
+	placer.SpreadWithinBins()
+	c.Calc.SetBinDim(0)
+	c.Eng.InvalidateAll()
+	if !discretized {
+		sizing.DiscretizeActual(c.NL, c.Calc)
+		c.Eng.SetMode(delay.Actual)
+	}
+	place.Legalize(c.NL, c.ChipW, c.ChipH)
+	place.DetailedPlace(c.NL, c.St, c.ChipW, c.ChipH, place.DefaultDetailedOptions(), nil)
+	syncImage(c)
+
+	if opt.DisableClockScanSchedule {
+		// Traditional methodology (E9 baseline): clock tree and scan
+		// chain are optimized only now, against a finished placement.
+		clockscan.OptimizeClock(c.NL, c.Im)
+		clockscan.OptimizeScan(c.NL)
+		place.Legalize(c.NL, c.ChipW, c.ChipH)
+		syncImage(c)
+	}
+
+	// Final status-100 pass: the loop's last transforms see bin-center
+	// coordinates, but legalization has just moved everything by up to a
+	// bin — so the scenario closes with one more analyzer-coupled
+	// optimization round on the *legal* placement, followed by clean-up
+	// legalization of the (small) width/insertion perturbations.
+	{
+		ns := sizing.SizeForSpeed(c.NL, c.Eng, c.Im, 0.08*c.Period, 2*budget)
+		nb := so.BufferCritical(budget)
+		ncl := so.CloneCritical(budget)
+		np := so.PinSwap(budget)
+		c.logf("final pass: sizes %d, buffers %d, clones %d, pin swaps %d", ns, nb, ncl, np)
+		place.Legalize(c.NL, c.ChipW, c.ChipH)
+		place.DetailedPlace(c.NL, c.St, c.ChipW, c.ChipH, place.DefaultDetailedOptions(), nil)
+		// Geometry-preserving correction absorbs the re-legalization.
+		sizing.InFootprintResize(c.NL, c.Eng, 0.08*c.Period)
+		so.PinSwap(budget)
+	}
+
+	m := c.Evaluate("TPS")
+	if !opt.SkipRouting {
+		res := route.RouteAll(c.NL, c.St, c.Im)
+		m.RoutedWireUm = res.TotalLen
+		m.RouteOverflows = res.Overflows
+		n := sizing.InFootprintResize(c.NL, c.Eng, 60)
+		c.logf("post-route in-footprint resizes: %d", n)
+		m.WorstSlack = c.Eng.WorstSlack()
+		m.TNS = c.Eng.TNS()
+		m.CycleAchieved = c.Period - m.WorstSlack
+	}
+	m.CPUSeconds = time.Since(start).Seconds()
+	m.Iterations = 1
+	return m
+}
+
+// SPROptions tunes the baseline flow.
+type SPROptions struct {
+	// MaxIterations bounds the resynthesis↔replace loop (the paper's SPR
+	// testcases went through many such iterations plus manual work).
+	MaxIterations int
+	// TransformBudget caps accepted changes per transform invocation.
+	TransformBudget int
+	// SkipRouting skips the final global route.
+	SkipRouting bool
+}
+
+// DefaultSPROptions mirrors a conventional flow.
+func DefaultSPROptions() SPROptions {
+	return SPROptions{MaxIterations: 4, TransformBudget: 64}
+}
+
+// RunSPR executes the traditional baseline: stand-alone synthesis on wire
+// load models, stand-alone quadratic placement, then iterated incremental
+// resynthesis + legalization until timing stops improving.
+func RunSPR(c *Context, opt SPROptions) Metrics {
+	start := time.Now()
+	if opt.MaxIterations <= 0 {
+		opt.MaxIterations = 4
+	}
+	budget := opt.TransformBudget
+
+	rel := relocate.New(c.NL, c.Eng, c.Im)
+	so := synth.New(c.NL, c.Eng, c.Im, rel)
+	weighter := netweight.New(c.NL, c.Eng, netweight.Absolute)
+	weighter.UseLogicalEffort = false // classic slack-only weighting
+
+	// --- Stage 1: stand-alone synthesis on wire-load models. ---
+	c.Eng.SetMode(delay.WireLoad)
+	sizing.AssignGains(c.NL, 4)
+	sizing.DiscretizeActual(c.NL, c.Calc)
+	sizing.SizeForSpeed(c.NL, c.Eng, c.Im, 60, budget)
+	so.BufferCritical(budget)
+	so.CloneCritical(budget)
+	c.logf("SPR synthesis done (WLM): slack %.0f", c.Eng.WorstSlack())
+
+	// --- Stage 2: stand-alone placement. ---
+	// Net weights frozen from the WLM timing picture — the §4.3 weakness
+	// the paper calls out: synthesis may predict the critical paths
+	// incorrectly, and the placement is biased toward them anyway.
+	weighter.Margin = 100
+	weighter.Apply()
+	// Traditional clock methodology: ignore clock nets during placement,
+	// optimize the tree afterwards (§4.5 "Traditionally...").
+	savedW := map[int]float64{}
+	c.NL.Nets(func(n *netlist.Net) {
+		if n.Kind != netlist.Signal {
+			savedW[n.ID] = n.Weight
+			c.NL.SetNetWeight(n, 0)
+		}
+	})
+	quadratic.Place(c.NL, c.ChipW, c.ChipH, quadratic.DefaultOptions())
+	for c.Im.Level < c.Im.MaxLevel {
+		c.Im.Subdivide()
+	}
+	place.Legalize(c.NL, c.ChipW, c.ChipH)
+	c.NL.Nets(func(n *netlist.Net) {
+		if w, ok := savedW[n.ID]; ok {
+			c.NL.SetNetWeight(n, w)
+		}
+	})
+	clockscan.OptimizeClock(c.NL, c.Im)
+	clockscan.OptimizeScan(c.NL)
+	place.Legalize(c.NL, c.ChipW, c.ChipH)
+	syncImage(c)
+
+	// --- Stage 3: measure with real wires; iterate resynthesis. ---
+	c.Eng.SetMode(delay.Actual)
+	iters := 1
+	prev := c.Eng.WorstSlack()
+	c.logf("SPR post-place slack: %.0f", prev)
+	for it := 0; it < opt.MaxIterations; it++ {
+		ns := sizing.SizeForSpeed(c.NL, c.Eng, c.Im, 60, budget)
+		nb := so.BufferCritical(budget)
+		ncl := so.CloneCritical(budget)
+		// Incremental placement step: legalize the perturbation (the
+		// [12,16-18] methodology the paper's intro describes).
+		place.Legalize(c.NL, c.ChipW, c.ChipH)
+		syncImage(c)
+		iters++
+		ws := c.Eng.WorstSlack()
+		c.logf("SPR resynth iter %d: sizes %d buffers %d clones %d slack %.0f", it+1, ns, nb, ncl, ws)
+		if ws <= prev+1 {
+			prev = ws
+			break
+		}
+		prev = ws
+	}
+	place.DetailedPlace(c.NL, c.St, c.ChipW, c.ChipH, place.DefaultDetailedOptions(), nil)
+
+	m := c.Evaluate("SPR")
+	if !opt.SkipRouting {
+		res := route.RouteAll(c.NL, c.St, c.Im)
+		m.RoutedWireUm = res.TotalLen
+		m.RouteOverflows = res.Overflows
+		sizing.InFootprintResize(c.NL, c.Eng, 60)
+		m.WorstSlack = c.Eng.WorstSlack()
+		m.TNS = c.Eng.TNS()
+		m.CycleAchieved = c.Period - m.WorstSlack
+	}
+	m.CPUSeconds = time.Since(start).Seconds()
+	m.Iterations = iters
+	return m
+}
+
+func syncImage(c *Context) {
+	t := c.NL.Lib.Tech
+	c.Im.ClearUsage()
+	c.NL.Gates(func(g *netlist.Gate) {
+		if !g.IsPad() {
+			c.Im.Deposit(g.X, g.Y, g.Area(t))
+		}
+	})
+}
+
+// CycleImprovementPct computes Table 1's "% cycle time impr." between an
+// SPR run and a TPS run of the same design.
+func CycleImprovementPct(spr, tps Metrics) float64 {
+	if spr.CycleAchieved <= 0 {
+		return 0
+	}
+	return (spr.CycleAchieved - tps.CycleAchieved) / spr.CycleAchieved * 100
+}

@@ -1,0 +1,369 @@
+// Package delay implements the net- and gate-delay calculators that the
+// incremental timing engine registers (§3): a lumped/distributed Elmore
+// model for short wires, a two-moment (D2M-style) RC model for long wires,
+// the load-independent gain-based model used early in the flow (§4.4, §5),
+// and the statistical wire-load model that the SPR baseline's stand-alone
+// synthesis step has to rely on.
+package delay
+
+import (
+	"math"
+
+	"tps/internal/cell"
+	"tps/internal/netlist"
+	"tps/internal/steiner"
+)
+
+// Mode selects the delay model in force.
+type Mode int
+
+const (
+	// GainBased: gate delay d=(p+g·h)·τ from the asserted gain; wires are
+	// free. Used before and during early placement.
+	GainBased Mode = iota
+	// WireLoad: loads estimated from a fanout-based wire-load model
+	// (what stand-alone synthesis must use in the SPR baseline); no
+	// per-sink wire delay.
+	WireLoad
+	// Actual: loads and per-sink delays from the Steiner tree, Elmore for
+	// short wires, two-moment RC for long ones.
+	Actual
+)
+
+func (m Mode) String() string {
+	switch m {
+	case GainBased:
+		return "gain"
+	case WireLoad:
+		return "wireload"
+	case Actual:
+		return "actual"
+	}
+	return "?"
+}
+
+// rcPS converts Ω·fF to picoseconds.
+func rcPS(rOhm, cFf float64) float64 { return rOhm * cFf / 1000 }
+
+// WireLoadModel estimates net capacitance from fanout alone, as wire-load
+// driven synthesis does. EstLenUm(f) = A·f^B µm of wire for f sinks.
+type WireLoadModel struct {
+	A, B float64
+	Tech cell.Tech
+}
+
+// DefaultWLM returns a wire-load model roughly calibrated to the default
+// technology and mid-size designs.
+func DefaultWLM(t cell.Tech) *WireLoadModel {
+	return &WireLoadModel{A: 60, B: 0.8, Tech: t}
+}
+
+// Cap returns the estimated wire capacitance in fF for a net with the
+// given number of sinks.
+func (w *WireLoadModel) Cap(fanout int) float64 {
+	if fanout <= 0 {
+		return 0
+	}
+	return w.Tech.CwFfPerUm * w.A * math.Pow(float64(fanout), w.B)
+}
+
+// netTiming caches the electrical view of one net under the Actual model.
+type netTiming struct {
+	load      float64   // total cap seen by the driver, fF
+	sinkDelay []float64 // wire delay to each pin, aligned with net.Pins()
+	maxPath   float64   // longest driver→sink wire path, µm
+}
+
+// Calculator computes gate arc delays and net wire delays under the
+// current Mode. Under Actual it memoizes per-net Elmore/RC solutions and
+// invalidates them through netlist observation, keeping queries incremental.
+type Calculator struct {
+	Mode Mode
+	Tech cell.Tech
+	St   *steiner.Cache
+	WLM  *WireLoadModel
+
+	// BinDim, when positive, enables the §3 Rent-style intra-bin wire
+	// estimate: pins that share a bin have coincident coordinates, so the
+	// Steiner length under-reports the wire a k-pin net will eventually
+	// need. Each net's load is floored at IntraBinFactor·BinDim·(k−1) of
+	// wire. The flow keeps BinDim equal to the current bin size, so the
+	// correction shrinks automatically as placement refines.
+	BinDim float64
+	// IntraBinFactor scales the floor (default 0.35).
+	IntraBinFactor float64
+
+	nl   *netlist.Netlist
+	nets []*netTiming
+
+	// Solves counts RC solutions performed (incrementality metric).
+	Solves int
+}
+
+// NewCalculator builds a calculator over nl using the shared Steiner cache.
+func NewCalculator(nl *netlist.Netlist, st *steiner.Cache, mode Mode) *Calculator {
+	c := &Calculator{
+		Mode:           mode,
+		Tech:           nl.Lib.Tech,
+		St:             st,
+		WLM:            DefaultWLM(nl.Lib.Tech),
+		IntraBinFactor: 0.35,
+		nl:             nl,
+	}
+	nl.Observe(c)
+	return c
+}
+
+// Close unsubscribes the calculator.
+func (c *Calculator) Close() { c.nl.Unobserve(c) }
+
+// SetMode switches delay models and drops all cached solutions.
+func (c *Calculator) SetMode(m Mode) {
+	c.Mode = m
+	c.InvalidateAll()
+}
+
+// SetBinDim updates the intra-bin estimate resolution and drops cached
+// solutions (loads change globally).
+func (c *Calculator) SetBinDim(d float64) {
+	if c.BinDim == d {
+		return
+	}
+	c.BinDim = d
+	c.InvalidateAll()
+}
+
+// InvalidateAll drops every cached RC solution.
+func (c *Calculator) InvalidateAll() {
+	for i := range c.nets {
+		c.nets[i] = nil
+	}
+}
+
+// Load returns the capacitance (fF) presented to the driver of net n.
+func (c *Calculator) Load(n *netlist.Net) float64 {
+	switch c.Mode {
+	case GainBased:
+		return n.SinkCap()
+	case WireLoad:
+		return n.SinkCap() + c.WLM.Cap(n.NumPins()-1)
+	default:
+		return c.net(n).load
+	}
+}
+
+// WireDelay returns the interconnect delay (ps) from the driver of n to
+// the pin at index pinIdx of n.Pins(). Zero under GainBased and WireLoad.
+func (c *Calculator) WireDelay(n *netlist.Net, pinIdx int) float64 {
+	if c.Mode != Actual {
+		return 0
+	}
+	nt := c.net(n)
+	if pinIdx >= len(nt.sinkDelay) {
+		return 0
+	}
+	return nt.sinkDelay[pinIdx]
+}
+
+// ArcDelay returns the delay (ps) through gate g from any input to output
+// pin z, under the current model. A single worst-arc value is used for all
+// inputs (the per-arc refinement would only change constants here).
+func (c *Calculator) ArcDelay(g *netlist.Gate, z *netlist.Pin) float64 {
+	cl := g.Cell
+	tau := c.Tech.Tau
+	if c.Mode == GainBased || g.SizeIdx < 0 {
+		// Sizeless gates are always timed by their asserted gain, even
+		// in later modes, until discretization links a real cell (§4.4).
+		return (cl.Parasitic + cl.LogicalEffort*g.Gain) * tau
+	}
+	var load float64
+	if z.Net != nil {
+		load = c.Load(z.Net)
+	}
+	r := cl.DriveResX1 / g.DriveX()
+	return cl.Parasitic*tau + rcPS(r, load)
+}
+
+// PinArrivalDelay returns the wire delay component for sink pin p on its
+// net (convenience lookup that locates the pin index).
+func (c *Calculator) PinArrivalDelay(p *netlist.Pin) float64 {
+	if c.Mode != Actual || p.Net == nil {
+		return 0
+	}
+	pins := p.Net.Pins()
+	for i, q := range pins {
+		if q == p {
+			return c.WireDelay(p.Net, i)
+		}
+	}
+	return 0
+}
+
+func (c *Calculator) grow(id int) {
+	for len(c.nets) <= id {
+		c.nets = append(c.nets, nil)
+	}
+}
+
+// net solves (or returns the memoized) RC view of net n.
+func (c *Calculator) net(n *netlist.Net) *netTiming {
+	c.grow(n.ID)
+	if nt := c.nets[n.ID]; nt != nil {
+		return nt
+	}
+	nt := c.solve(n)
+	c.nets[n.ID] = nt
+	c.Solves++
+	return nt
+}
+
+// solve runs the moment computation on the net's Steiner topology.
+func (c *Calculator) solve(n *netlist.Net) *netTiming {
+	pins := n.Pins()
+	nt := &netTiming{sinkDelay: make([]float64, len(pins))}
+
+	driverIdx := -1
+	for i, p := range pins {
+		if p.Dir() == cell.Output {
+			driverIdx = i
+			break
+		}
+	}
+	if driverIdx < 0 || len(pins) < 2 {
+		nt.load = n.SinkCap()
+		return nt
+	}
+
+	t := c.St.Tree(n)
+	// Rent-style intra-bin floor (§3): coincident bin-center pins hide
+	// wire the net will need once the bins refine.
+	var extraCap float64
+	if c.BinDim > 0 {
+		if floor := c.IntraBinFactor * c.BinDim * float64(len(pins)-1); floor > t.Length {
+			extraCap = (floor - t.Length) * c.Tech.CwFfPerUm
+		}
+	}
+	adj := t.Adjacency()
+	nn := len(t.Nodes)
+
+	// Node capacitances: pin caps at pin nodes plus half of each incident
+	// edge's wire cap (distributed wire approximation).
+	capAt := make([]float64, nn)
+	for i, p := range pins {
+		capAt[i] += p.Cap()
+	}
+	for _, e := range t.Edges {
+		wc := steiner.Dist(t.Nodes[e.U], t.Nodes[e.V]) * c.Tech.CwFfPerUm
+		capAt[e.U] += wc / 2
+		capAt[e.V] += wc / 2
+	}
+
+	// DFS from the driver: children order, subtree caps, then moments.
+	parent := make([]int, nn)
+	parentLen := make([]float64, nn)
+	order := make([]int, 0, nn)
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[driverIdx] = -1
+	stack := []int{driverIdx}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, u)
+		for _, nb := range adj[u] {
+			if parent[nb.Node] == -2 {
+				parent[nb.Node] = u
+				parentLen[nb.Node] = nb.Len
+				stack = append(stack, nb.Node)
+			}
+		}
+	}
+
+	subCap := make([]float64, nn)
+	subCM1 := make([]float64, nn) // Σ cap·m1 over subtree, filled later
+	pathLen := make([]float64, nn)
+	copy(subCap, capAt)
+	for i := len(order) - 1; i >= 1; i-- {
+		u := order[i]
+		subCap[parent[u]] += subCap[u]
+	}
+	nt.load = subCap[driverIdx] + extraCap
+
+	m1 := make([]float64, nn)
+	for _, u := range order[1:] {
+		r := parentLen[u] * c.Tech.RwOhmPerUm
+		m1[u] = m1[parent[u]] + rcPS(r, subCap[u])
+		pathLen[u] = pathLen[parent[u]] + parentLen[u]
+	}
+
+	// Second moments for the long-wire model.
+	for i := range subCM1 {
+		subCM1[i] = capAt[i] * m1[i]
+	}
+	for i := len(order) - 1; i >= 1; i-- {
+		u := order[i]
+		subCM1[parent[u]] += subCM1[u]
+	}
+	m2 := make([]float64, nn)
+	for _, u := range order[1:] {
+		r := parentLen[u] * c.Tech.RwOhmPerUm
+		m2[u] = m2[parent[u]] + rcPS(r, subCM1[u])
+	}
+
+	ln2 := math.Ln2
+	for i := range pins {
+		if i == driverIdx || parent[i] == -2 {
+			continue
+		}
+		if pathLen[i] > c.Tech.LongWireUm && m2[i] > 0 {
+			// D2M: ln2·m1²/√m2 — tighter than Elmore on resistive paths.
+			d := ln2 * m1[i] * m1[i] / math.Sqrt(m2[i])
+			if d > m1[i] { // Elmore is an upper bound; never exceed it
+				d = m1[i]
+			}
+			nt.sinkDelay[i] = d
+		} else {
+			nt.sinkDelay[i] = m1[i]
+		}
+		if pathLen[i] > nt.maxPath {
+			nt.maxPath = pathLen[i]
+		}
+	}
+	return nt
+}
+
+// Invalidate drops the cached solution of net n.
+func (c *Calculator) Invalidate(n *netlist.Net) {
+	if n.ID < len(c.nets) {
+		c.nets[n.ID] = nil
+	}
+}
+
+// GateMoved implements netlist.Observer.
+func (c *Calculator) GateMoved(g *netlist.Gate) {
+	for _, p := range g.Pins {
+		if p.Net != nil {
+			c.Invalidate(p.Net)
+		}
+	}
+}
+
+// GateResized implements netlist.Observer: input caps changed, so every
+// net attached to the gate carries a different load now.
+func (c *Calculator) GateResized(g *netlist.Gate) {
+	for _, p := range g.Pins {
+		if p.Net != nil {
+			c.Invalidate(p.Net)
+		}
+	}
+}
+
+// NetChanged implements netlist.Observer.
+func (c *Calculator) NetChanged(n *netlist.Net) { c.Invalidate(n) }
+
+// GateAdded implements netlist.Observer.
+func (c *Calculator) GateAdded(*netlist.Gate) {}
+
+// GateRemoved implements netlist.Observer.
+func (c *Calculator) GateRemoved(*netlist.Gate) {}

@@ -1,0 +1,207 @@
+package delay
+
+import (
+	"math"
+	"testing"
+
+	"tps/internal/cell"
+	"tps/internal/netlist"
+	"tps/internal/steiner"
+)
+
+// rig builds INV(d) → net → INV(s1), INV(s2) with chosen locations.
+type rig struct {
+	nl        *netlist.Netlist
+	st        *steiner.Cache
+	c         *Calculator
+	d, s1, s2 *netlist.Gate
+	n         *netlist.Net
+}
+
+func newRig(t *testing.T, mode Mode) *rig {
+	t.Helper()
+	nl := netlist.New("t", cell.Default())
+	d := nl.AddGate("d", nl.Lib.Cell("INV"))
+	s1 := nl.AddGate("s1", nl.Lib.Cell("INV"))
+	s2 := nl.AddGate("s2", nl.Lib.Cell("INV"))
+	n := nl.AddNet("n")
+	nl.Connect(d.Output(), n)
+	nl.Connect(s1.Pin("A"), n)
+	nl.Connect(s2.Pin("A"), n)
+	nl.MoveGate(d, 0, 0)
+	nl.MoveGate(s1, 100, 0)
+	nl.MoveGate(s2, 200, 0)
+	st := steiner.NewCache(nl)
+	c := NewCalculator(nl, st, mode)
+	return &rig{nl: nl, st: st, c: c, d: d, s1: s1, s2: s2, n: n}
+}
+
+func TestGainModeLoadIndependent(t *testing.T) {
+	r := newRig(t, GainBased)
+	d0 := r.c.ArcDelay(r.d, r.d.Output())
+	want := (1.0 + 1.0*r.d.Gain) * r.nl.Lib.Tech.Tau // p=1, g=1 for INV
+	if math.Abs(d0-want) > 1e-9 {
+		t.Errorf("gain delay = %g, want %g", d0, want)
+	}
+	// Moving a sink very far away must not change the gain-mode delay.
+	r.nl.MoveGate(r.s2, 100000, 0)
+	if d1 := r.c.ArcDelay(r.d, r.d.Output()); d1 != d0 {
+		t.Errorf("gain delay changed with distance: %g → %g", d0, d1)
+	}
+	if r.c.WireDelay(r.n, 1) != 0 {
+		t.Errorf("gain mode has wire delay")
+	}
+}
+
+func TestActualModeLoadAndWireDelay(t *testing.T) {
+	r := newRig(t, Actual)
+	r.nl.SetSize(r.d, 0)
+	r.nl.SetSize(r.s1, 0)
+	r.nl.SetSize(r.s2, 0)
+	load := r.c.Load(r.n)
+	// Wire: 200µm chain × 0.2 fF/µm = 40 fF; pins: 2 × 4 fF = 8 fF.
+	if math.Abs(load-48) > 1e-6 {
+		t.Errorf("load = %g fF, want 48", load)
+	}
+	// Wire delay must be monotone along the chain.
+	pins := r.n.Pins()
+	var d1, d2 float64
+	for i, p := range pins {
+		switch p.Gate {
+		case r.s1:
+			d1 = r.c.WireDelay(r.n, i)
+		case r.s2:
+			d2 = r.c.WireDelay(r.n, i)
+		}
+	}
+	if d1 <= 0 || d2 <= d1 {
+		t.Errorf("wire delays not monotone: near=%g far=%g", d1, d2)
+	}
+	// Elmore hand-check for the far sink (driver at 0, sinks at 100, 200):
+	// segment1 R=12Ω C=20fF, segment2 R=12Ω C=20fF, pin caps 4fF each.
+	// m1(far) = R1·(C1/2 + Cpin1 + C2 + Cpin2) + R2·(C2/2 + Cpin2)
+	want := (12.0*(10+4+20+4) + 12.0*(10+4)) / 1000
+	if math.Abs(d2-want) > 1e-6 {
+		t.Errorf("far Elmore = %g, want %g", d2, want)
+	}
+}
+
+func TestActualArcDelayScalesWithDrive(t *testing.T) {
+	r := newRig(t, Actual)
+	r.nl.SetSize(r.s1, 0)
+	r.nl.SetSize(r.s2, 0)
+	r.nl.SetSize(r.d, 0) // X1
+	d1 := r.c.ArcDelay(r.d, r.d.Output())
+	r.nl.SetSize(r.d, 2) // X4: drive R quartered
+	d4 := r.c.ArcDelay(r.d, r.d.Output())
+	if d4 >= d1 {
+		t.Errorf("upsizing did not speed up: %g → %g", d1, d4)
+	}
+}
+
+func TestSizelessGateTimedByGainEvenInActualMode(t *testing.T) {
+	r := newRig(t, Actual)
+	// d remains sizeless (SizeIdx −1): §4.4 virtual phase.
+	want := (1.0 + 1.0*r.d.Gain) * r.nl.Lib.Tech.Tau
+	if got := r.c.ArcDelay(r.d, r.d.Output()); math.Abs(got-want) > 1e-9 {
+		t.Errorf("sizeless arc delay = %g, want gain-based %g", got, want)
+	}
+}
+
+func TestWireLoadModeUsesWLM(t *testing.T) {
+	r := newRig(t, WireLoad)
+	load := r.c.Load(r.n)
+	wlm := r.c.WLM.Cap(2)
+	want := r.n.SinkCap() + wlm
+	if math.Abs(load-want) > 1e-9 {
+		t.Errorf("WLM load = %g, want %g", load, want)
+	}
+	// WLM is location-independent.
+	r.nl.MoveGate(r.s2, 5000, 5000)
+	if got := r.c.Load(r.n); math.Abs(got-want) > 1e-9 {
+		t.Errorf("WLM load moved with placement: %g", got)
+	}
+}
+
+func TestSolveMemoizedAndInvalidated(t *testing.T) {
+	r := newRig(t, Actual)
+	_ = r.c.Load(r.n)
+	_ = r.c.Load(r.n)
+	if r.c.Solves != 1 {
+		t.Errorf("solves = %d, want 1", r.c.Solves)
+	}
+	r.nl.MoveGate(r.s1, 50, 0)
+	_ = r.c.Load(r.n)
+	if r.c.Solves != 2 {
+		t.Errorf("after move solves = %d, want 2", r.c.Solves)
+	}
+	// Resizing a sink changes its pin cap → invalidate too.
+	r.nl.SetSize(r.s1, 3)
+	_ = r.c.Load(r.n)
+	if r.c.Solves != 3 {
+		t.Errorf("after resize solves = %d, want 3", r.c.Solves)
+	}
+}
+
+func TestLongWireUsesD2M(t *testing.T) {
+	nl := netlist.New("t", cell.Default())
+	d := nl.AddGate("d", nl.Lib.Cell("INV"))
+	s := nl.AddGate("s", nl.Lib.Cell("INV"))
+	n := nl.AddNet("n")
+	nl.Connect(d.Output(), n)
+	nl.Connect(s.Pin("A"), n)
+	nl.SetSize(d, 0)
+	nl.SetSize(s, 0)
+	nl.MoveGate(d, 0, 0)
+	nl.MoveGate(s, 2000, 0) // well past LongWireUm
+	st := steiner.NewCache(nl)
+	c := NewCalculator(nl, st, Actual)
+	dly := c.WireDelay(n, 1)
+	// Elmore upper bound for the distributed line + pin cap.
+	r := 2000 * nl.Lib.Tech.RwOhmPerUm
+	cw := 2000 * nl.Lib.Tech.CwFfPerUm
+	elmore := rcPS(r, cw/2+4)
+	if dly > elmore+1e-9 {
+		t.Errorf("long-wire delay %g exceeds Elmore bound %g", dly, elmore)
+	}
+	if dly < elmore*0.4 {
+		t.Errorf("long-wire delay %g implausibly below Elmore %g", dly, elmore)
+	}
+}
+
+func TestUndrivenNet(t *testing.T) {
+	nl := netlist.New("t", cell.Default())
+	s := nl.AddGate("s", nl.Lib.Cell("INV"))
+	n := nl.AddNet("n")
+	nl.Connect(s.Pin("A"), n)
+	nl.MoveGate(s, 0, 0)
+	st := steiner.NewCache(nl)
+	c := NewCalculator(nl, st, Actual)
+	if got := c.WireDelay(n, 0); got != 0 {
+		t.Errorf("undriven net wire delay = %g", got)
+	}
+}
+
+func TestSetModeDropsCache(t *testing.T) {
+	r := newRig(t, Actual)
+	_ = r.c.Load(r.n)
+	r.c.SetMode(GainBased)
+	if got := r.c.Load(r.n); got != r.n.SinkCap() {
+		t.Errorf("after mode switch load = %g, want sink cap", got)
+	}
+}
+
+func TestWLMMonotone(t *testing.T) {
+	w := DefaultWLM(cell.DefaultTech())
+	prev := 0.0
+	for f := 0; f < 20; f++ {
+		c := w.Cap(f)
+		if c < prev {
+			t.Fatalf("WLM not monotone at fanout %d", f)
+		}
+		prev = c
+	}
+	if w.Cap(0) != 0 {
+		t.Errorf("WLM cap(0) = %g", w.Cap(0))
+	}
+}

@@ -1,0 +1,257 @@
+// Package migrate implements the circuit-migration transform of §4.2
+// (ref [8]): *strong moves*. Individual cell moves on a critical path can
+// be useless — the meander of Figure 3 and the Steiner co-motion of
+// Figure 4 only improve when a connected set of circuits moves together.
+// The transform computes candidate collective motions for the cells of
+// each critical net (and merged groups of adjacent critical nets), checks
+// placement-bin capacities, applies the move, and lets the incremental
+// timing analyzer accept or reject it — the direct analyzer coupling that
+// distinguishes migration from generic placement improvement.
+package migrate
+
+import (
+	"math"
+	"sort"
+
+	"tps/internal/image"
+	"tps/internal/netlist"
+	"tps/internal/timing"
+)
+
+// Migrator holds the analyzer coupling for strong moves.
+type Migrator struct {
+	NL  *netlist.Netlist
+	Eng *timing.Engine
+	Im  *image.Image
+	// Margin widens the critical region (ps).
+	Margin float64
+	// MaxSet bounds the size of a strong-move set.
+	MaxSet int
+	// MaxGroups bounds merged net-group attempts per run.
+	MaxGroups int
+
+	// Attempts / Accepts count proposed and accepted strong moves.
+	Attempts, Accepts int
+}
+
+// New returns a migrator with paper-scale defaults.
+func New(nl *netlist.Netlist, eng *timing.Engine, im *image.Image) *Migrator {
+	return &Migrator{NL: nl, Eng: eng, Im: im, Margin: 60, MaxSet: 8, MaxGroups: 64}
+}
+
+// Run computes and applies strong moves for every net in the critical
+// region, then for merged groups of adjacent critical nets. Returns the
+// number of accepted moves.
+func (m *Migrator) Run() int {
+	before := m.Accepts
+	crit := m.Eng.CriticalNets(m.Margin)
+	for _, n := range crit {
+		m.StrongMoveNet(n)
+	}
+	// Merged groups: consecutive critical nets sharing a gate (the
+	// "strong move for a group of nets" of §4.2).
+	groups := 0
+	for i := 0; i+1 < len(crit) && groups < m.MaxGroups; i++ {
+		a, b := crit[i], crit[i+1]
+		if sharesGate(a, b) {
+			m.strongMoveSet(unionMovable(a, b, m.MaxSet*2))
+			groups++
+		}
+	}
+	return m.Accepts - before
+}
+
+func sharesGate(a, b *netlist.Net) bool {
+	for _, p := range a.Pins() {
+		for _, q := range b.Pins() {
+			if p.Gate == q.Gate {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func unionMovable(a, b *netlist.Net, max int) []*netlist.Gate {
+	seen := map[int]bool{}
+	var out []*netlist.Gate
+	for _, n := range []*netlist.Net{a, b} {
+		for _, p := range n.Pins() {
+			g := p.Gate
+			if g.Fixed || seen[g.ID] {
+				continue
+			}
+			seen[g.ID] = true
+			out = append(out, g)
+			if len(out) >= max {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// StrongMoveNet computes and (if the analyzer approves) applies a strong
+// move for one net. Returns true if a move was accepted.
+func (m *Migrator) StrongMoveNet(n *netlist.Net) bool {
+	var set []*netlist.Gate
+	seen := map[int]bool{}
+	for _, p := range n.Pins() {
+		g := p.Gate
+		if g.Fixed || seen[g.ID] {
+			continue
+		}
+		seen[g.ID] = true
+		set = append(set, g)
+		if len(set) >= m.MaxSet {
+			break
+		}
+	}
+	return m.strongMoveSet(set)
+}
+
+// strongMoveSet evaluates candidate collective translations of set.
+func (m *Migrator) strongMoveSet(set []*netlist.Gate) bool {
+	if len(set) == 0 {
+		return false
+	}
+	exX, exY := m.externalPins(set)
+	if len(exX) == 0 {
+		return false
+	}
+	sort.Float64s(exX)
+	sort.Float64s(exY)
+	tx := median(exX)
+	ty := median(exY)
+
+	var cx, cy float64
+	for _, g := range set {
+		cx += g.X
+		cy += g.Y
+	}
+	cx /= float64(len(set))
+	cy /= float64(len(set))
+	dx, dy := tx-cx, ty-cy
+
+	// Candidate deltas: full alignment, per-axis, and half-step. The
+	// analyzer picks the winner; geometry only proposes.
+	cands := [][2]float64{{dx, dy}, {dx, 0}, {0, dy}, {dx / 2, dy / 2}}
+	for _, c := range cands {
+		if math.Abs(c[0])+math.Abs(c[1]) < 1e-9 {
+			continue
+		}
+		if m.tryMove(set, c[0], c[1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// externalPins collects the coordinates of pins connected to the set's
+// nets but belonging to gates outside the set.
+func (m *Migrator) externalPins(set []*netlist.Gate) (xs, ys []float64) {
+	in := make(map[int]bool, len(set))
+	for _, g := range set {
+		in[g.ID] = true
+	}
+	seenNet := map[int]bool{}
+	for _, g := range set {
+		for _, p := range g.Pins {
+			n := p.Net
+			if n == nil || seenNet[n.ID] || n.Kind == netlist.Clock {
+				continue
+			}
+			seenNet[n.ID] = true
+			for _, q := range n.Pins() {
+				if !in[q.Gate.ID] {
+					xs = append(xs, q.X())
+					ys = append(ys, q.Y())
+				}
+			}
+		}
+	}
+	return xs, ys
+}
+
+func median(s []float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[len(s)/2]
+}
+
+// tryMove applies the collective translation if bin capacities allow,
+// keeps it if the timer confirms improvement, reverts otherwise.
+func (m *Migrator) tryMove(set []*netlist.Gate, dx, dy float64) bool {
+	m.Attempts++
+	t := m.NL.Lib.Tech
+
+	// Clamp the translation so every gate stays on die.
+	for _, g := range set {
+		nx := clamp(g.X+dx, 0, m.Im.W)
+		ny := clamp(g.Y+dy, 0, m.Im.H)
+		if math.Abs(nx-(g.X+dx)) > 1e-9 {
+			dx = nx - g.X
+		}
+		if math.Abs(ny-(g.Y+dy)) > 1e-9 {
+			dy = ny - g.Y
+		}
+	}
+	if math.Abs(dx)+math.Abs(dy) < 1e-9 {
+		return false
+	}
+
+	// Capacity check: withdraw from source bins, test destination bins.
+	for _, g := range set {
+		m.Im.Withdraw(g.X, g.Y, g.Area(t))
+	}
+	deposited := 0
+	for _, g := range set {
+		b := m.Im.BinAt(g.X+dx, g.Y+dy)
+		if b.Free() < g.Area(t) {
+			break
+		}
+		b.AreaUsed += g.Area(t)
+		deposited++
+	}
+	if deposited < len(set) {
+		// Roll back the partial deposits and restore sources.
+		for _, g := range set[:deposited] {
+			m.Im.Withdraw(g.X+dx, g.Y+dy, g.Area(t))
+		}
+		for _, g := range set {
+			m.Im.Deposit(g.X, g.Y, g.Area(t))
+		}
+		return false
+	}
+
+	wsBefore := m.Eng.WorstSlack()
+	tnsBefore := m.Eng.TNS()
+	old := make([][2]float64, len(set))
+	for i, g := range set {
+		old[i] = [2]float64{g.X, g.Y}
+		m.NL.MoveGate(g, g.X+dx, g.Y+dy)
+	}
+	ws := m.Eng.WorstSlack()
+	if ws > wsBefore+1e-9 || (ws >= wsBefore-1e-9 && m.Eng.TNS() > tnsBefore+1e-9) {
+		m.Accepts++
+		return true
+	}
+	// Reject: restore positions and bin usage.
+	for i, g := range set {
+		m.Im.Withdraw(g.X, g.Y, g.Area(t))
+		m.NL.MoveGate(g, old[i][0], old[i][1])
+		m.Im.Deposit(g.X, g.Y, g.Area(t))
+	}
+	return false
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,228 @@
+package migrate
+
+import (
+	"testing"
+
+	"tps/internal/cell"
+	"tps/internal/delay"
+	"tps/internal/gen"
+	"tps/internal/image"
+	"tps/internal/netlist"
+	"tps/internal/steiner"
+	"tps/internal/timing"
+)
+
+// meander reproduces Figure 3: a critical path PI→C→D→E→PO where C..E sit
+// displaced from the straight line between the fixed endpoints. Moving any
+// single gate does not shorten the path; moving the set together does.
+type meanderRig struct {
+	nl   *netlist.Netlist
+	eng  *timing.Engine
+	st   *steiner.Cache
+	im   *image.Image
+	mid  []*netlist.Gate
+	nets []*netlist.Net
+	mig  *Migrator
+}
+
+func newMeander(t *testing.T) *meanderRig {
+	t.Helper()
+	nl := netlist.New("meander", cell.Default())
+	lib := nl.Lib
+	pi := nl.AddGate("A", lib.Cell("PAD"))
+	pi.SizeIdx = 0
+	pi.Fixed = true
+	nl.MoveGate(pi, 0, 0)
+	po := nl.AddGate("B", lib.Cell("PAD"))
+	po.SizeIdx = 0
+	po.Fixed = true
+	nl.MoveGate(po, 400, 0)
+
+	var mid []*netlist.Gate
+	var nets []*netlist.Net
+	prev := nl.AddNet("n0")
+	nl.Connect(pi.Pin("O"), prev)
+	nets = append(nets, prev)
+	for i, name := range []string{"C", "D", "E"} {
+		g := nl.AddGate(name, lib.Cell("INV"))
+		nl.SetSize(g, 0)
+		nl.Connect(g.Pin("A"), prev)
+		prev = nl.AddNet("n" + name)
+		nl.Connect(g.Output(), prev)
+		// The meander: all three gates pushed far off the A–B line.
+		nl.MoveGate(g, 100+float64(i)*100, 300)
+		mid = append(mid, g)
+		nets = append(nets, prev)
+	}
+	nl.Connect(po.Pin("I"), prev)
+
+	im := image.New(500, 500, lib.Tech.RowHeight, 0.7)
+	for im.Level < im.MaxLevel {
+		im.Subdivide()
+	}
+	st := steiner.NewCache(nl)
+	calc := delay.NewCalculator(nl, st, delay.Actual)
+	eng := timing.New(nl, calc, 100) // tight: the path is critical
+	r := &meanderRig{nl: nl, eng: eng, st: st, im: im, mid: mid, nets: nets}
+	r.mig = New(nl, eng, im)
+	r.mig.Margin = 1e9
+	return r
+}
+
+func pathDelay(r *meanderRig) float64 {
+	po := findGate(r.nl, "B")
+	return r.eng.Arrival(po.Pin("I"))
+}
+
+func findGate(nl *netlist.Netlist, name string) *netlist.Gate {
+	var out *netlist.Gate
+	nl.Gates(func(g *netlist.Gate) {
+		if g.Name == name {
+			out = g
+		}
+	})
+	return out
+}
+
+func TestFigure3SingleMovesDontHelpCollectiveDoes(t *testing.T) {
+	r := newMeander(t)
+	before := pathDelay(r)
+
+	// Single-gate vertical moves: moving only D toward the line lengthens
+	// the C–D and D–E nets as much as it shortens nothing — delay must
+	// not improve materially.
+	d := r.mid[1]
+	oldY := d.Y
+	r.nl.MoveGate(d, d.X, 0)
+	afterSingle := pathDelay(r)
+	r.nl.MoveGate(d, d.X, oldY)
+	if afterSingle < before-1e-6 {
+		t.Logf("single move improved by %g ps (expected ≈0)", before-afterSingle)
+	}
+
+	// The strong move: all three together.
+	accepted := r.mig.Run()
+	if accepted == 0 {
+		t.Fatal("no strong move accepted on the meander")
+	}
+	after := pathDelay(r)
+	if after >= before-1e-6 {
+		t.Fatalf("collective move did not improve delay: %g → %g", before, after)
+	}
+	// The gates should have migrated toward the A–B line (y≈0).
+	for _, g := range r.mid {
+		if g.Y > 200 {
+			t.Errorf("gate %s still at y=%g after migration", g.Name, g.Y)
+		}
+	}
+}
+
+func TestFigure4CoMotion(t *testing.T) {
+	// Figure 4: a 3-pin net where moving nodes A and B together reduces
+	// the Steiner length but moving either alone does not.
+	nl := netlist.New("fig4", cell.Default())
+	lib := nl.Lib
+	cpad := nl.AddGate("Cp", lib.Cell("PAD"))
+	cpad.SizeIdx = 0
+	cpad.Fixed = true
+	nl.MoveGate(cpad, 100, 200)
+
+	a := nl.AddGate("A", lib.Cell("INV"))
+	nl.SetSize(a, 0)
+	b := nl.AddGate("B", lib.Cell("NAND2"))
+	nl.SetSize(b, 0)
+	n := nl.AddNet("n")
+	nl.Connect(a.Output(), n)
+	nl.Connect(b.Pin("A"), n)
+	nl.Connect(cpad.Pin("I"), n)
+	// A and B vertically offset from C's trunk in opposite senses.
+	nl.MoveGate(a, 0, 0)
+	nl.MoveGate(b, 200, 0)
+
+	st := steiner.NewCache(nl)
+	lenBefore := st.Length(n)
+
+	// Single vertical motion of A alone: no length reduction (trunk
+	// still pinned by B at y=0).
+	nl.MoveGate(a, 0, 100)
+	if l := st.Length(n); l < lenBefore-1e-9 {
+		t.Fatalf("single motion reduced length: %g → %g", lenBefore, l)
+	}
+	nl.MoveGate(a, 0, 0)
+
+	// Co-motion of A and B upward shortens the stub to C.
+	nl.MoveGate(a, 0, 100)
+	nl.MoveGate(b, 200, 100)
+	if l := st.Length(n); l >= lenBefore-1e-9 {
+		t.Fatalf("co-motion did not reduce length: %g → %g", lenBefore, l)
+	}
+}
+
+func TestCapacityBlocksMove(t *testing.T) {
+	r := newMeander(t)
+	// Fill every bin on the A–B line so the migration has nowhere to go.
+	for i := 0; i < r.im.NX; i++ {
+		b := r.im.At(i, 0)
+		b.AreaUsed = b.AreaCap
+	}
+	before := pathDelay(r)
+	accepted := r.mig.Run()
+	// Moves to y≈0 must be rejected for capacity; other candidates may
+	// still land elsewhere, but delay must never degrade.
+	after := pathDelay(r)
+	if after > before+1e-6 {
+		t.Fatalf("migration degraded delay under capacity pressure: %g → %g", before, after)
+	}
+	_ = accepted
+}
+
+func TestRejectionRestoresState(t *testing.T) {
+	r := newMeander(t)
+	// Relax the clock: nothing is critical, improvement impossible at
+	// zero margin, so every candidate must be rejected and state intact.
+	r.eng.SetPeriod(1e6)
+	r.mig.Margin = 0
+	pos := map[int][2]float64{}
+	r.nl.Gates(func(g *netlist.Gate) { pos[g.ID] = [2]float64{g.X, g.Y} })
+	used := r.im.TotalUsed()
+	r.mig.Run()
+	r.nl.Gates(func(g *netlist.Gate) {
+		p := pos[g.ID]
+		if g.X != p[0] || g.Y != p[1] {
+			t.Fatalf("gate %s moved despite no critical region", g.Name)
+		}
+	})
+	if r.im.TotalUsed() != used {
+		t.Fatalf("bin usage leaked: %g → %g", used, r.im.TotalUsed())
+	}
+}
+
+func TestRunOnGeneratedDesign(t *testing.T) {
+	d := gen.Generate(cell.Default(), gen.Params{NumGates: 300, Levels: 8, Seed: 13, PeriodScale: 0.7})
+	nl := d.NL
+	im := image.New(d.ChipW, d.ChipH, nl.Lib.Tech.RowHeight, 0.75)
+	for im.Level < im.MaxLevel {
+		im.Subdivide()
+	}
+	i := 0
+	nl.Gates(func(g *netlist.Gate) {
+		if !g.Fixed {
+			nl.MoveGate(g, float64(i%17)*d.ChipW/17, float64(i/17%17)*d.ChipH/17)
+			i++
+		}
+	})
+	st := steiner.NewCache(nl)
+	calc := delay.NewCalculator(nl, st, delay.Actual)
+	eng := timing.New(nl, calc, d.Period)
+	mig := New(nl, eng, im)
+	wsBefore := eng.WorstSlack()
+	tnsBefore := eng.TNS()
+	mig.Run()
+	if ws := eng.WorstSlack(); ws < wsBefore-1e-6 {
+		t.Fatalf("migration degraded worst slack: %g → %g", wsBefore, ws)
+	}
+	if tns := eng.TNS(); tns < tnsBefore-1e-6 {
+		t.Fatalf("migration degraded TNS: %g → %g", tnsBefore, tns)
+	}
+	t.Logf("attempts=%d accepts=%d", mig.Attempts, mig.Accepts)
+}

@@ -1,0 +1,126 @@
+package netio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tps/internal/cell"
+	"tps/internal/gen"
+	"tps/internal/netlist"
+)
+
+func TestRoundTrip(t *testing.T) {
+	lib := cell.Default()
+	d := gen.Generate(lib, gen.Params{NumGates: 150, Levels: 6, Seed: 71})
+	// Discretize a few gates so both size forms appear.
+	i := 0
+	d.NL.Gates(func(g *netlist.Gate) {
+		if !g.Fixed && g.SizeIdx < 0 && i%3 == 0 {
+			d.NL.SetSize(g, 1)
+		}
+		i++
+	})
+
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Read(&buf, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NL.Name != d.NL.Name || d2.Period != d.Period {
+		t.Fatalf("header mismatch: %s/%g vs %s/%g", d2.NL.Name, d2.Period, d.NL.Name, d.Period)
+	}
+	if d2.NL.NumGates() != d.NL.NumGates() || d2.NL.NumNets() != d.NL.NumNets() {
+		t.Fatalf("counts: %d/%d vs %d/%d", d2.NL.NumGates(), d2.NL.NumNets(), d.NL.NumGates(), d.NL.NumNets())
+	}
+	// Structural fingerprint: per-net pin counts by name.
+	fp := func(nl *netlist.Netlist) map[string]int {
+		m := map[string]int{}
+		nl.Nets(func(n *netlist.Net) { m[n.Name] = n.NumPins() })
+		return m
+	}
+	a, b := fp(d.NL), fp(d2.NL)
+	for name, pins := range a {
+		if b[name] != pins {
+			t.Fatalf("net %s pins %d vs %d", name, pins, b[name])
+		}
+	}
+	// Kinds survive.
+	clocks := 0
+	d2.NL.Nets(func(n *netlist.Net) {
+		if n.Kind == netlist.Clock {
+			clocks++
+		}
+	})
+	if clocks == 0 {
+		t.Fatal("clock kinds lost")
+	}
+	// Positions and fixedness survive.
+	var pad1, pad2 *netlist.Gate
+	d.NL.Gates(func(g *netlist.Gate) {
+		if g.IsPad() && pad1 == nil {
+			pad1 = g
+		}
+	})
+	d2.NL.Gates(func(g *netlist.Gate) {
+		if g.Name == pad1.Name {
+			pad2 = g
+		}
+	})
+	if pad2 == nil || !pad2.Fixed || pad2.X != pad1.X || pad2.Y != pad1.Y {
+		t.Fatalf("pad state lost: %+v vs %+v", pad2, pad1)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	lib := cell.Default()
+	cases := []struct {
+		name, in string
+	}{
+		{"unknown directive", "bogus x\n"},
+		{"unknown master", "gate g1 NOPE\n"},
+		{"undeclared net", "gate g1 INV A=missing\n"},
+		{"duplicate net", "net n\nnet n\n"},
+		{"bad period", "period xyz\n"},
+		{"double drive", "net n\ngate a INV Z=n\ngate b INV Z=n\n"},
+		{"bad size", "gate g INV size=X99\n"},
+		{"bad net kind", "net n power\n"},
+		{"bad port", "net n\ngate g INV Q=n\n"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.in), lib); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestReadMinimal(t *testing.T) {
+	in := `# minimal
+design tiny
+period 500
+chip 100 100
+net n1
+net ck clock
+gate pi PAD size=X1 at 0 0 fixed O=n1
+gate g INV sizeless gain=3.5 A=n1
+`
+	d, err := Read(strings.NewReader(in), cell.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Period != 500 || d.ChipW != 100 {
+		t.Fatalf("header: %+v", d)
+	}
+	var g *netlist.Gate
+	d.NL.Gates(func(x *netlist.Gate) {
+		if x.Name == "g" {
+			g = x
+		}
+	})
+	if g == nil || g.SizeIdx != -1 || g.Gain != 3.5 {
+		t.Fatalf("gate state: %+v", g)
+	}
+}

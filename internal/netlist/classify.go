@@ -1,0 +1,32 @@
+package netlist
+
+import "tps/internal/cell"
+
+// ClassifyKinds re-derives every net's kind from its sinks: Clock if it
+// feeds any clock pin, Scan if every sink is a scan-in pin (a pure scan
+// net in the §4.5 sense), Signal otherwise. Generators call it once;
+// transforms that restitch clock or scan nets call it again afterwards.
+func (nl *Netlist) ClassifyKinds() {
+	nl.Nets(func(n *Net) {
+		kind := Signal
+		anySink, allScan := false, true
+		for _, p := range n.pins {
+			if p.Dir() != cell.Input {
+				continue
+			}
+			anySink = true
+			pt := p.Port()
+			if pt.Clock {
+				kind = Clock
+				break
+			}
+			if !pt.ScanIn {
+				allScan = false
+			}
+		}
+		if kind != Clock && anySink && allScan {
+			kind = Scan
+		}
+		n.Kind = kind
+	})
+}

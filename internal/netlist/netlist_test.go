@@ -1,0 +1,291 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tps/internal/cell"
+)
+
+func newNL() *Netlist { return New("t", cell.Default()) }
+
+func TestAddConnectDisconnect(t *testing.T) {
+	nl := newNL()
+	lib := nl.Lib
+	g1 := nl.AddGate("g1", lib.Cell("INV"))
+	g2 := nl.AddGate("g2", lib.Cell("NAND2"))
+	n := nl.AddNet("n")
+	nl.Connect(g1.Output(), n)
+	nl.Connect(g2.Pin("A"), n)
+	if n.NumPins() != 2 {
+		t.Fatalf("pins = %d", n.NumPins())
+	}
+	if n.Driver() != g1.Output() {
+		t.Fatalf("driver wrong")
+	}
+	if err := nl.Check(); err != nil {
+		t.Fatal(err)
+	}
+	nl.Disconnect(g2.Pin("A"))
+	if n.NumPins() != 1 {
+		t.Fatalf("after disconnect pins = %d", n.NumPins())
+	}
+	if err := nl.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleConnectPanics(t *testing.T) {
+	nl := newNL()
+	g := nl.AddGate("g", nl.Lib.Cell("INV"))
+	a, b := nl.AddNet("a"), nl.AddNet("b")
+	nl.Connect(g.Output(), a)
+	defer func() {
+		if recover() == nil {
+			t.Error("second Connect did not panic")
+		}
+	}()
+	nl.Connect(g.Output(), b)
+}
+
+func TestRemoveGateDisconnects(t *testing.T) {
+	nl := newNL()
+	g1 := nl.AddGate("g1", nl.Lib.Cell("INV"))
+	g2 := nl.AddGate("g2", nl.Lib.Cell("INV"))
+	n := nl.AddNet("n")
+	nl.Connect(g1.Output(), n)
+	nl.Connect(g2.Pin("A"), n)
+	nl.RemoveGate(g1)
+	if nl.NumGates() != 1 {
+		t.Fatalf("NumGates = %d", nl.NumGates())
+	}
+	if n.Driver() != nil {
+		t.Fatal("driver not removed")
+	}
+	if nl.GateByID(g1.ID) != nil {
+		t.Fatal("removed gate still reachable")
+	}
+	if err := nl.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapPins(t *testing.T) {
+	nl := newNL()
+	g := nl.AddGate("g", nl.Lib.Cell("NAND2"))
+	na, nb := nl.AddNet("na"), nl.AddNet("nb")
+	nl.Connect(g.Pin("A"), na)
+	nl.Connect(g.Pin("B"), nb)
+	nl.SwapPins(g.Pin("A"), g.Pin("B"))
+	if g.Pin("A").Net != nb || g.Pin("B").Net != na {
+		t.Fatal("pins not swapped")
+	}
+	if err := nl.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapPinsRejectsUnswappable(t *testing.T) {
+	nl := newNL()
+	g := nl.AddGate("g", nl.Lib.Cell("AOI21"))
+	na, nc := nl.AddNet("na"), nl.AddNet("nc")
+	nl.Connect(g.Pin("A"), na)
+	nl.Connect(g.Pin("C"), nc)
+	defer func() {
+		if recover() == nil {
+			t.Error("SwapPins(A,C) did not panic")
+		}
+	}()
+	nl.SwapPins(g.Pin("A"), g.Pin("C"))
+}
+
+type recorder struct {
+	moved, resized, netChanged, added, removed int
+}
+
+func (r *recorder) GateMoved(*Gate)   { r.moved++ }
+func (r *recorder) GateResized(*Gate) { r.resized++ }
+func (r *recorder) NetChanged(*Net)   { r.netChanged++ }
+func (r *recorder) GateAdded(*Gate)   { r.added++ }
+func (r *recorder) GateRemoved(*Gate) { r.removed++ }
+
+func TestObserverEvents(t *testing.T) {
+	nl := newNL()
+	rec := &recorder{}
+	nl.Observe(rec)
+	g := nl.AddGate("g", nl.Lib.Cell("INV"))
+	if rec.added != 1 {
+		t.Errorf("added = %d", rec.added)
+	}
+	n := nl.AddNet("n")
+	nl.Connect(g.Output(), n)
+	if rec.netChanged != 1 {
+		t.Errorf("netChanged = %d", rec.netChanged)
+	}
+	nl.MoveGate(g, 10, 20)
+	if rec.moved != 1 {
+		t.Errorf("moved = %d", rec.moved)
+	}
+	nl.MoveGate(g, 10, 20) // no-op: same location and already placed
+	if rec.moved != 1 {
+		t.Errorf("no-op move fired event")
+	}
+	nl.SetSize(g, 2)
+	nl.SetGain(g, 3)
+	nl.SetAreaScale(g, 0.5)
+	if rec.resized != 3 {
+		t.Errorf("resized = %d", rec.resized)
+	}
+	nl.Unobserve(rec)
+	nl.MoveGate(g, 1, 1)
+	if rec.moved != 1 {
+		t.Errorf("event after Unobserve")
+	}
+}
+
+func TestMoveGateMarksPlaced(t *testing.T) {
+	nl := newNL()
+	g := nl.AddGate("g", nl.Lib.Cell("INV"))
+	if g.Placed {
+		t.Fatal("new gate marked placed")
+	}
+	nl.MoveGate(g, 0, 0)
+	if !g.Placed {
+		t.Fatal("MoveGate(0,0) must mark placed")
+	}
+}
+
+func TestAreaScaleAndWidth(t *testing.T) {
+	nl := newNL()
+	tch := nl.Lib.Tech
+	g := nl.AddGate("g", nl.Lib.Cell("INV"))
+	nl.SetSize(g, 1) // X2
+	w := g.Width()
+	nl.SetAreaScale(g, 0)
+	if g.Width() != 0 {
+		t.Errorf("zero area scale width = %g", g.Width())
+	}
+	nl.SetAreaScale(g, 2)
+	if g.Width() != 2*w {
+		t.Errorf("scaled width = %g, want %g", g.Width(), 2*w)
+	}
+	if g.Area(tch) != g.Width()*tch.RowHeight {
+		t.Errorf("area mismatch")
+	}
+}
+
+func TestReplaceCellPreservesConnections(t *testing.T) {
+	nl := newNL()
+	g := nl.AddGate("g", nl.Lib.Cell("NAND2"))
+	na, nb, nz := nl.AddNet("na"), nl.AddNet("nb"), nl.AddNet("nz")
+	nl.Connect(g.Pin("A"), na)
+	nl.Connect(g.Pin("B"), nb)
+	nl.Connect(g.Output(), nz)
+	nl.ReplaceCell(g, nl.Lib.Cell("NOR2"), 1)
+	if g.Cell.Name != "NOR2" || g.SizeIdx != 1 {
+		t.Fatal("cell not replaced")
+	}
+	if g.Pin("A").Net != na || g.Output().Net != nz {
+		t.Fatal("connections lost")
+	}
+	if err := nl.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveNetPanicsWhenPopulated(t *testing.T) {
+	nl := newNL()
+	g := nl.AddGate("g", nl.Lib.Cell("INV"))
+	n := nl.AddNet("n")
+	nl.Connect(g.Output(), n)
+	defer func() {
+		if recover() == nil {
+			t.Error("RemoveNet on populated net did not panic")
+		}
+	}()
+	nl.RemoveNet(n)
+}
+
+// Property: after any random sequence of edits, structural invariants hold
+// and live counts match direct enumeration.
+func TestRandomEditInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := newNL()
+		lib := nl.Lib
+		masters := []*cell.Cell{lib.Cell("INV"), lib.Cell("NAND2"), lib.Cell("NOR3"), lib.Cell("DFF")}
+		var gates []*Gate
+		var nets []*Net
+		for op := 0; op < 200; op++ {
+			switch rng.Intn(6) {
+			case 0:
+				gates = append(gates, nl.AddGate("g", masters[rng.Intn(len(masters))]))
+			case 1:
+				nets = append(nets, nl.AddNet("n"))
+			case 2:
+				if len(gates) > 0 && len(nets) > 0 {
+					g := gates[rng.Intn(len(gates))]
+					if g.Removed {
+						continue
+					}
+					p := g.Pins[rng.Intn(len(g.Pins))]
+					n := nets[rng.Intn(len(nets))]
+					if p.Net == nil && !n.Removed && (p.Dir() != cell.Output || n.Driver() == nil) {
+						nl.Connect(p, n)
+					}
+				}
+			case 3:
+				if len(gates) > 0 {
+					g := gates[rng.Intn(len(gates))]
+					if !g.Removed {
+						p := g.Pins[rng.Intn(len(g.Pins))]
+						nl.Disconnect(p)
+					}
+				}
+			case 4:
+				if len(gates) > 0 {
+					g := gates[rng.Intn(len(gates))]
+					if !g.Removed {
+						nl.MoveGate(g, rng.Float64()*100, rng.Float64()*100)
+					}
+				}
+			case 5:
+				if len(gates) > 0 && rng.Intn(4) == 0 {
+					g := gates[rng.Intn(len(gates))]
+					if !g.Removed {
+						nl.RemoveGate(g)
+					}
+				}
+			}
+		}
+		if err := nl.Check(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		liveG := 0
+		nl.Gates(func(*Gate) { liveG++ })
+		liveN := 0
+		nl.Nets(func(*Net) { liveN++ })
+		return liveG == nl.NumGates() && liveN == nl.NumNets()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMovePin(t *testing.T) {
+	nl := newNL()
+	g1 := nl.AddGate("g1", nl.Lib.Cell("INV"))
+	g2 := nl.AddGate("g2", nl.Lib.Cell("INV"))
+	n1, n2 := nl.AddNet("n1"), nl.AddNet("n2")
+	nl.Connect(g1.Output(), n1)
+	nl.Connect(g2.Pin("A"), n1)
+	nl.MovePin(g2.Pin("A"), n2)
+	if g2.Pin("A").Net != n2 || n1.NumPins() != 1 {
+		t.Fatal("MovePin failed")
+	}
+	if err := nl.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+// Package netweight implements Algorithm LogicalEffortNetWeight (§4.3):
+// on each placement cut, nets in the current critical region receive
+// placement weights scaled both by how negative their slack is and by the
+// logical effort of the driving gate relative to the library maximum —
+// automatically encoding the designer's rule of thumb that complex gates
+// (high logical effort) should drive short wires while inverters and
+// buffers may drive long ones.
+package netweight
+
+import (
+	"math"
+
+	"tps/internal/netlist"
+	"tps/internal/timing"
+)
+
+// Mode selects between independent re-weighting each cut and smoothed
+// updates that blend with the previous assignment.
+type Mode int
+
+const (
+	// Absolute recomputes weights from scratch on every cut.
+	Absolute Mode = iota
+	// Incremental blends the new slack weight with the previous one,
+	// giving a smoother weight trajectory across cuts.
+	Incremental
+)
+
+// Weighter assigns net weights coupled to the incremental timer.
+type Weighter struct {
+	NL   *netlist.Netlist
+	Eng  *timing.Engine
+	Mode Mode
+	// Margin widens the critical region (ps).
+	Margin float64
+	// MaxBoost caps the slack-derived weight multiplier.
+	MaxBoost float64
+	// UseLogicalEffort disables the g/gmax scaling when false (the E7
+	// ablation compares slack-only weighting against the full scheme).
+	UseLogicalEffort bool
+
+	prev map[int]float64 // previous slack weight per net ID
+}
+
+// New returns a weighter with the paper's structure and tuned constants.
+func New(nl *netlist.Netlist, eng *timing.Engine, mode Mode) *Weighter {
+	return &Weighter{
+		NL:               nl,
+		Eng:              eng,
+		Mode:             mode,
+		Margin:           60,
+		MaxBoost:         4,
+		UseLogicalEffort: true,
+		prev:             make(map[int]float64),
+	}
+}
+
+// slackWeight maps a net slack to a multiplier ≥ 1.
+func (w *Weighter) slackWeight(slack float64) float64 {
+	if slack >= 0 || w.Eng.Period <= 0 {
+		return 1
+	}
+	boost := w.MaxBoost * math.Min(1, -slack/(0.25*w.Eng.Period))
+	return 1 + boost
+}
+
+// leFactor scales a weight by the driver's logical effort relative to the
+// library maximum: range [0.75, 1.5] in the default library.
+func (w *Weighter) leFactor(n *netlist.Net) float64 {
+	if !w.UseLogicalEffort {
+		return 1
+	}
+	d := n.Driver()
+	maxLE := w.NL.Lib.MaxLogicalEffort()
+	if d == nil || maxLE <= 0 {
+		return 1
+	}
+	return 0.5 + d.Gate.Cell.LogicalEffort/maxLE
+}
+
+// Apply updates weights for the current critical region and returns the
+// number of nets re-weighted. Non-critical nets previously boosted decay
+// back toward their base weight.
+func (w *Weighter) Apply() int {
+	crit := w.Eng.CriticalNets(w.Margin)
+	inCrit := make(map[int]bool, len(crit))
+	count := 0
+	for _, n := range crit {
+		inCrit[n.ID] = true
+		sw := w.slackWeight(w.Eng.NetSlack(n))
+		if w.Mode == Incremental {
+			if p, ok := w.prev[n.ID]; ok {
+				sw = (sw + p) / 2
+			}
+		}
+		w.prev[n.ID] = sw
+		weight := n.BaseWeight * (1 + (sw-1)*w.leFactor(n))
+		w.NL.SetNetWeight(n, weight)
+		count++
+	}
+	// Decay stale boosts so yesterday's critical region doesn't keep
+	// distorting the placement.
+	w.NL.Nets(func(n *netlist.Net) {
+		if inCrit[n.ID] || n.Weight == n.BaseWeight {
+			return
+		}
+		if n.Kind != netlist.Signal {
+			return // clock/scan weights are owned by the §4.5 schedule
+		}
+		nw := n.BaseWeight + (n.Weight-n.BaseWeight)*0.5
+		if math.Abs(nw-n.BaseWeight) < 0.05 {
+			nw = n.BaseWeight
+		}
+		w.NL.SetNetWeight(n, nw)
+		delete(w.prev, n.ID)
+	})
+	return count
+}

@@ -1,0 +1,173 @@
+package netweight
+
+import (
+	"testing"
+
+	"tps/internal/cell"
+	"tps/internal/delay"
+	"tps/internal/gen"
+	"tps/internal/netlist"
+	"tps/internal/steiner"
+	"tps/internal/timing"
+)
+
+func rig(t *testing.T, period float64) (*netlist.Netlist, *timing.Engine) {
+	t.Helper()
+	d := gen.Generate(cell.Default(), gen.Params{NumGates: 300, Levels: 10, Seed: 5, Period: period})
+	nl := d.NL
+	i := 0
+	nl.Gates(func(g *netlist.Gate) {
+		if !g.Fixed {
+			nl.MoveGate(g, float64(i%20)*25, float64(i/20%20)*25)
+			i++
+		}
+	})
+	st := steiner.NewCache(nl)
+	calc := delay.NewCalculator(nl, st, delay.GainBased)
+	return nl, timing.New(nl, calc, period)
+}
+
+func TestCriticalNetsGetBoosted(t *testing.T) {
+	nl, eng := rig(t, 300) // aggressive: negative slack guaranteed
+	w := New(nl, eng, Absolute)
+	n := w.Apply()
+	if n == 0 {
+		t.Fatal("no nets weighted despite negative slack")
+	}
+	boosted := 0
+	nl.Nets(func(net *netlist.Net) {
+		if net.Weight > net.BaseWeight+1e-9 {
+			boosted++
+		}
+	})
+	if boosted == 0 {
+		t.Fatal("no weights above base")
+	}
+}
+
+func TestNoBoostWhenTimingMet(t *testing.T) {
+	nl, eng := rig(t, 1e6)
+	w := New(nl, eng, Absolute)
+	if n := w.Apply(); n != 0 {
+		t.Fatalf("%d nets weighted on a passing design", n)
+	}
+	nl.Nets(func(net *netlist.Net) {
+		if net.Weight != net.BaseWeight {
+			t.Fatalf("net %s weight %g on a passing design", net.Name, net.Weight)
+		}
+	})
+}
+
+func TestLogicalEffortScaling(t *testing.T) {
+	// Two identical-slack nets, one driven by INV (g=1), one by XOR (g=4):
+	// the XOR-driven net must end with the higher weight.
+	nl := netlist.New("t", cell.Default())
+	lib := nl.Lib
+	mk := func(driver string) *netlist.Net {
+		pi := nl.AddGate("pi_"+driver, lib.Cell("PAD"))
+		pi.SizeIdx = 0
+		pi.Fixed = true
+		g := nl.AddGate("g_"+driver, lib.Cell(driver))
+		po := nl.AddGate("po_"+driver, lib.Cell("PAD"))
+		po.SizeIdx = 0
+		po.Fixed = true
+		in := nl.AddNet("in_" + driver)
+		out := nl.AddNet("out_" + driver)
+		nl.Connect(pi.Pin("O"), in)
+		nl.Connect(g.Input(0), in)
+		nl.Connect(g.Output(), out)
+		nl.Connect(po.Pin("I"), out)
+		for i, gg := range []*netlist.Gate{pi, g, po} {
+			nl.MoveGate(gg, float64(i)*10, 0)
+		}
+		return out
+	}
+	invNet := mk("INV")
+	xorNet := mk("XOR2")
+	st := steiner.NewCache(nl)
+	calc := delay.NewCalculator(nl, st, delay.GainBased)
+	eng := timing.New(nl, calc, 1) // absurdly tight: everything critical
+	w := New(nl, eng, Absolute)
+	w.Margin = 1e9 // the whole design is the critical region
+	w.Apply()
+	if xorNet.Weight <= invNet.Weight {
+		t.Errorf("XOR-driven weight %g not above INV-driven %g", xorNet.Weight, invNet.Weight)
+	}
+}
+
+func TestLogicalEffortDisabled(t *testing.T) {
+	nl, eng := rig(t, 300)
+	w := New(nl, eng, Absolute)
+	w.UseLogicalEffort = false
+	w.Apply()
+	// With LE disabled, weights depend only on slack; drivers with
+	// different efforts but identical slack get identical weights. Just
+	// verify the knob doesn't break weighting.
+	boosted := 0
+	nl.Nets(func(net *netlist.Net) {
+		if net.Weight > net.BaseWeight+1e-9 {
+			boosted++
+		}
+	})
+	if boosted == 0 {
+		t.Fatal("LE-disabled weighting produced no boosts")
+	}
+}
+
+func TestIncrementalModeSmoothing(t *testing.T) {
+	nl, eng := rig(t, 300)
+	abs := New(nl, eng, Absolute)
+	abs.Apply()
+	absWeights := map[int]float64{}
+	nl.Nets(func(n *netlist.Net) { absWeights[n.ID] = n.Weight })
+
+	// Reset and run incremental twice: second application must move
+	// weights smoothly (first inc pass = absolute since no history).
+	nl.Nets(func(n *netlist.Net) { nl.SetNetWeight(n, n.BaseWeight) })
+	inc := New(nl, eng, Incremental)
+	inc.Apply()
+	first := map[int]float64{}
+	nl.Nets(func(n *netlist.Net) { first[n.ID] = n.Weight })
+	inc.Apply()
+	// Second pass blends with history; weights stay bounded by the
+	// absolute result's scale and remain ≥ base.
+	nl.Nets(func(n *netlist.Net) {
+		if n.Weight < n.BaseWeight-1e-9 {
+			t.Fatalf("net %s weight %g below base", n.Name, n.Weight)
+		}
+	})
+}
+
+func TestDecayOfStaleBoosts(t *testing.T) {
+	nl, eng := rig(t, 300)
+	w := New(nl, eng, Absolute)
+	w.Apply()
+	// Relax the clock so nothing is critical, then re-apply: previously
+	// boosted nets must decay toward base.
+	eng.SetPeriod(1e6)
+	for i := 0; i < 10; i++ {
+		w.Apply()
+	}
+	nl.Nets(func(n *netlist.Net) {
+		if n.Kind == netlist.Signal && n.Weight != n.BaseWeight {
+			t.Fatalf("net %s still boosted (%g) after decay", n.Name, n.Weight)
+		}
+	})
+}
+
+func TestClockScanWeightsUntouched(t *testing.T) {
+	nl, eng := rig(t, 300)
+	// Park clock weights at zero as the §4.5 schedule would.
+	nl.Nets(func(n *netlist.Net) {
+		if n.Kind != netlist.Signal {
+			nl.SetNetWeight(n, 0)
+		}
+	})
+	w := New(nl, eng, Absolute)
+	w.Apply()
+	nl.Nets(func(n *netlist.Net) {
+		if n.Kind != netlist.Signal && n.Weight != 0 {
+			t.Fatalf("%v net %s weight %g — schedule ownership violated", n.Kind, n.Name, n.Weight)
+		}
+	})
+}

@@ -1,0 +1,264 @@
+// Package noise implements the crosstalk-noise analyzer and repair
+// transform that the paper's abstract and §1 put alongside timing and
+// power ("coupled them directly with incremental timing, noise, and/or
+// power analyzers... target a variety of metrics including noise, yield
+// and manufacturability").
+//
+// Model: wires are rasterized into the bin grid as canonical L-shapes
+// (the same abstraction the congestion analyzer uses). Nets that run
+// through the same bin couple over their shared run length; the
+// charge-sharing peak at a victim sink is
+//
+//	Vnoise/Vdd = Cc / (Cc + Cg + Kd·X)
+//
+// where Cc is the coupled capacitance, Cg the victim's grounded (wire +
+// pin) capacitance, and Kd·X the holding strength of the victim's driver
+// at drive multiple X. A sink fails when the ratio exceeds the threshold.
+// The repair transform upsizes victim drivers — or splits long victims
+// behind a buffer — and re-checks through the analyzer, with the timing
+// engine guarding against slack regressions.
+package noise
+
+import (
+	"math"
+	"sort"
+
+	"tps/internal/cell"
+	"tps/internal/delay"
+	"tps/internal/image"
+	"tps/internal/netlist"
+	"tps/internal/steiner"
+	"tps/internal/timing"
+)
+
+// Analyzer estimates coupled capacitance per net from bin co-occupancy.
+type Analyzer struct {
+	NL   *netlist.Netlist
+	St   *steiner.Cache
+	Im   *image.Image
+	Calc *delay.Calculator
+	// CcPerUm is the coupling capacitance per µm of shared bin run
+	// between two nets (worst-case adjacent-track assumption scaled by
+	// bin crowding).
+	CcPerUm float64
+	// HoldPerX is the driver holding term Kd per unit drive (fF-equivalent).
+	HoldPerX float64
+	// Threshold is the failing Vnoise/Vdd ratio.
+	Threshold float64
+
+	epoch   uint64
+	binDim  float64
+	coupled []float64 // per net ID: total coupled cap, fF
+}
+
+// New returns an analyzer with conservative defaults.
+func New(nl *netlist.Netlist, st *steiner.Cache, im *image.Image, calc *delay.Calculator) *Analyzer {
+	return &Analyzer{
+		NL: nl, St: st, Im: im, Calc: calc,
+		CcPerUm:   0.08,
+		HoldPerX:  30,
+		Threshold: 0.35,
+	}
+}
+
+// Recompute rasterizes every net and accumulates pairwise coupling. The
+// pass is linear in total wire length at bin resolution; transforms re-run
+// it per batch, like the power analyzer.
+func (a *Analyzer) Recompute() {
+	a.epoch = a.NL.Edits
+	a.binDim = a.Im.BinW()
+	nbins := a.Im.NumBins()
+	binOcc := make([][]occ, nbins)
+
+	a.NL.Nets(func(n *netlist.Net) {
+		if n.Kind == netlist.Clock {
+			return // clock shielding is assumed, as is conventional
+		}
+		t := a.St.Tree(n)
+		for _, e := range t.Edges {
+			p, q := t.Nodes[e.U], t.Nodes[e.V]
+			a.rasterize(binOcc, n, p, q)
+		}
+	})
+
+	a.coupled = make([]float64, a.NL.NetCap())
+	for _, occs := range binOcc {
+		if len(occs) < 2 {
+			continue
+		}
+		var total float64
+		for _, o := range occs {
+			total += o.len
+		}
+		for _, o := range occs {
+			// Shared run with all other nets in the bin, capped by the
+			// bin dimension (can't couple longer than the bin).
+			other := total - o.len
+			share := math.Min(math.Min(o.len, other), a.binDim)
+			a.coupled[o.net.ID] += share * a.CcPerUm
+		}
+	}
+}
+
+// occ is one net's wire run length inside one bin.
+type occ struct {
+	net *netlist.Net
+	len float64
+}
+
+// rasterize adds the L-shape of edge p→q into the per-bin occupancy.
+func (a *Analyzer) rasterize(binOcc [][]occ, n *netlist.Net, p, q steiner.Point) {
+	addRun := func(x0, y0, x1, y1 float64) {
+		length := math.Abs(x1-x0) + math.Abs(y1-y0)
+		if length == 0 {
+			return
+		}
+		// Walk the run in bin-size steps, attributing length per bin.
+		steps := int(length/a.Im.BinW()) + 1
+		for s := 0; s <= steps; s++ {
+			f := float64(s) / float64(steps+1)
+			x := x0 + (x1-x0)*f
+			y := y0 + (y1-y0)*f
+			ix, iy := a.Im.Loc(x, y)
+			flat := iy*a.Im.NX + ix
+			seg := length / float64(steps+1)
+			occs := binOcc[flat]
+			if len(occs) > 0 && occs[len(occs)-1].net == n {
+				binOcc[flat][len(occs)-1].len += seg
+				continue
+			}
+			binOcc[flat] = append(binOcc[flat], occ{n, seg})
+		}
+	}
+	addRun(p.X, p.Y, q.X, p.Y)
+	addRun(q.X, p.Y, q.X, q.Y)
+}
+
+func (a *Analyzer) ensure() {
+	if a.coupled == nil || a.epoch != a.NL.Edits {
+		a.Recompute()
+	}
+}
+
+// CoupledCap returns the estimated coupled capacitance of net n in fF.
+func (a *Analyzer) CoupledCap(n *netlist.Net) float64 {
+	a.ensure()
+	if n.ID >= len(a.coupled) {
+		return 0
+	}
+	return a.coupled[n.ID]
+}
+
+// NoiseRatio returns the worst-case Vnoise/Vdd at n's sinks.
+func (a *Analyzer) NoiseRatio(n *netlist.Net) float64 {
+	cc := a.CoupledCap(n)
+	if cc == 0 {
+		return 0
+	}
+	cg := a.Calc.Load(n)
+	hold := a.HoldPerX
+	if d := n.Driver(); d != nil {
+		hold *= d.Gate.DriveX()
+	}
+	return cc / (cc + cg + hold)
+}
+
+// Violations returns the nets whose noise ratio exceeds the threshold,
+// worst first.
+func (a *Analyzer) Violations() []*netlist.Net {
+	a.ensure()
+	type nv struct {
+		n *netlist.Net
+		r float64
+	}
+	var out []nv
+	a.NL.Nets(func(n *netlist.Net) {
+		if n.Kind != netlist.Signal {
+			return
+		}
+		if r := a.NoiseRatio(n); r > a.Threshold {
+			out = append(out, nv{n, r})
+		}
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].r != out[j].r {
+			return out[i].r > out[j].r
+		}
+		return out[i].n.ID < out[j].n.ID
+	})
+	nets := make([]*netlist.Net, len(out))
+	for i, v := range out {
+		nets[i] = v.n
+	}
+	return nets
+}
+
+// Fix is the noise-repair transform: for each violating net it first
+// tries upsizing the victim's driver (stronger holding), then splitting
+// the victim behind a buffer (shorter coupled run). The timing engine
+// vetoes repairs that cost worst slack. Returns the number of nets
+// repaired.
+func Fix(a *Analyzer, eng *timing.Engine, maxRepairs int) int {
+	nl := a.NL
+	repaired := 0
+	bc := nl.Lib.First(cell.FuncBuf)
+	for _, n := range a.Violations() {
+		if maxRepairs > 0 && repaired >= maxRepairs {
+			break
+		}
+		d := n.Driver()
+		if d == nil || d.Gate.IsPad() || d.Gate.SizeIdx < 0 {
+			continue
+		}
+		g := d.Gate
+		fixed := false
+		wsFloor := eng.WorstSlack()
+		// Upsizing ladder.
+		for g.SizeIdx+1 < len(g.Cell.Sizes) {
+			old := g.SizeIdx
+			nl.SetSize(g, old+1)
+			if eng.WorstSlack() < wsFloor-1e-9 {
+				nl.SetSize(g, old)
+				break
+			}
+			a.Recompute()
+			if a.NoiseRatio(n) <= a.Threshold {
+				fixed = true
+				break
+			}
+		}
+		// Buffer split for long victims still failing.
+		if !fixed && n.NumPins() >= 3 && bc != nil {
+			sinks := n.Sinks(nil)
+			far := sinks[len(sinks)/2:]
+			buf := nl.AddGate(n.Name+"_nbuf", bc)
+			buf.SizeIdx = bc.SizeIndex(4)
+			bn := nl.AddNet(n.Name + "_nsplit")
+			nl.Connect(buf.Pin("A"), n)
+			nl.Connect(buf.Output(), bn)
+			for _, s := range far {
+				nl.MovePin(s, bn)
+			}
+			var cx, cy float64
+			for _, s := range far {
+				cx += s.X()
+				cy += s.Y()
+			}
+			nl.MoveGate(buf, cx/float64(len(far)), cy/float64(len(far)))
+			if eng.WorstSlack() < wsFloor-1e-9 {
+				for _, s := range far {
+					nl.MovePin(s, n)
+				}
+				nl.RemoveGate(buf)
+				nl.RemoveNet(bn)
+			} else {
+				a.Recompute()
+				fixed = a.NoiseRatio(n) <= a.Threshold
+			}
+		}
+		if fixed {
+			repaired++
+		}
+	}
+	return repaired
+}

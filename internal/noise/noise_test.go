@@ -1,0 +1,156 @@
+package noise
+
+import (
+	"testing"
+
+	"tps/internal/cell"
+	"tps/internal/delay"
+	"tps/internal/image"
+	"tps/internal/netlist"
+	"tps/internal/steiner"
+	"tps/internal/timing"
+)
+
+// parallelRig builds k parallel long nets sharing the same bins (strong
+// coupling) plus one isolated net far away.
+func parallelRig(t *testing.T, k int) (*netlist.Netlist, *Analyzer, []*netlist.Net, *netlist.Net, *timing.Engine) {
+	t.Helper()
+	nl := netlist.New("noise", cell.Default())
+	lib := nl.Lib
+	im := image.New(800, 800, lib.Tech.RowHeight, 0.7)
+	for im.NX < 8 {
+		im.Subdivide()
+	}
+	var nets []*netlist.Net
+	for i := 0; i < k; i++ {
+		d := nl.AddGate("d", lib.Cell("INV"))
+		nl.SetSize(d, 0)
+		s := nl.AddGate("s", lib.Cell("INV"))
+		nl.SetSize(s, 0)
+		n := nl.AddNet("par")
+		nl.Connect(d.Output(), n)
+		nl.Connect(s.Pin("A"), n)
+		// All in the same bin row: y within one bin, long horizontal runs.
+		nl.MoveGate(d, 10, 450)
+		nl.MoveGate(s, 700, 450)
+		nets = append(nets, n)
+	}
+	// Isolated victim in an empty corner.
+	di := nl.AddGate("di", lib.Cell("INV"))
+	nl.SetSize(di, 0)
+	si := nl.AddGate("si", lib.Cell("INV"))
+	nl.SetSize(si, 0)
+	iso := nl.AddNet("iso")
+	nl.Connect(di.Output(), iso)
+	nl.Connect(si.Pin("A"), iso)
+	nl.MoveGate(di, 10, 60)
+	nl.MoveGate(si, 700, 60)
+
+	st := steiner.NewCache(nl)
+	calc := delay.NewCalculator(nl, st, delay.Actual)
+	eng := timing.New(nl, calc, 1e6)
+	a := New(nl, st, im, calc)
+	return nl, a, nets, iso, eng
+}
+
+func TestCoupledNetsSeeNoise(t *testing.T) {
+	_, a, nets, iso, _ := parallelRig(t, 6)
+	for _, n := range nets {
+		if a.CoupledCap(n) <= 0 {
+			t.Fatalf("parallel net has no coupling")
+		}
+	}
+	// The lone far-away net couples only with... nothing nearby on its
+	// row except itself — its ratio must be far below the bundle's.
+	bundle := a.NoiseRatio(nets[0])
+	lone := a.NoiseRatio(iso)
+	if lone >= bundle {
+		t.Errorf("isolated net ratio %g not below bundle %g", lone, bundle)
+	}
+}
+
+func TestViolationsSortedWorstFirst(t *testing.T) {
+	_, a, _, _, _ := parallelRig(t, 8)
+	a.Threshold = 0.01 // force plenty of violations
+	v := a.Violations()
+	if len(v) < 2 {
+		t.Skip("not enough violations to check ordering")
+	}
+	for i := 1; i < len(v); i++ {
+		if a.NoiseRatio(v[i]) > a.NoiseRatio(v[i-1])+1e-12 {
+			t.Fatalf("violations not sorted: %g then %g",
+				a.NoiseRatio(v[i-1]), a.NoiseRatio(v[i]))
+		}
+	}
+}
+
+func TestUpsizingCalmsVictim(t *testing.T) {
+	nl, a, nets, _, _ := parallelRig(t, 8)
+	n := nets[0]
+	r1 := a.NoiseRatio(n)
+	d := n.Driver().Gate
+	nl.SetSize(d, len(d.Cell.Sizes)-1)
+	a.Recompute()
+	if r2 := a.NoiseRatio(n); r2 >= r1 {
+		t.Errorf("upsizing did not reduce noise: %g → %g", r1, r2)
+	}
+}
+
+func TestFixRepairsViolations(t *testing.T) {
+	_, a, _, _, eng := parallelRig(t, 10)
+	a.Threshold = 0.10
+	before := len(a.Violations())
+	if before == 0 {
+		t.Skip("no violations at this threshold")
+	}
+	repaired := Fix(a, eng, 0)
+	if repaired == 0 {
+		t.Fatal("nothing repaired")
+	}
+	a.Recompute()
+	after := len(a.Violations())
+	if after >= before {
+		t.Errorf("violations %d → %d", before, after)
+	}
+}
+
+func TestFixRespectsTiming(t *testing.T) {
+	nl, a, _, _, _ := parallelRig(t, 8)
+	st := steiner.NewCache(nl)
+	_ = st
+	// A fresh engine with an impossible period: everything deeply
+	// critical, so Fix's slack floor forbids... upsizing helps timing too,
+	// so the guard is "no degradation", which upsizing passes. Just check
+	// the invariant directly.
+	calc := delay.NewCalculator(nl, steiner.NewCache(nl), delay.Actual)
+	eng := timing.New(nl, calc, 50)
+	a.Threshold = 0.05
+	wsBefore := eng.WorstSlack()
+	Fix(a, eng, 0)
+	if ws := eng.WorstSlack(); ws < wsBefore-1e-6 {
+		t.Errorf("noise fix degraded slack: %g → %g", wsBefore, ws)
+	}
+	if err := nl.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockNetsExcluded(t *testing.T) {
+	nl, a, _, _, _ := parallelRig(t, 4)
+	// Add a clock buffer driving a long clock net through the bundle.
+	lib := nl.Lib
+	cb := nl.AddGate("cb", lib.Cell("CLKBUF"))
+	nl.SetSize(cb, 0)
+	r := nl.AddGate("r", lib.Cell("DFF"))
+	nl.SetSize(r, 0)
+	ck := nl.AddNet("ck")
+	nl.Connect(cb.Output(), ck)
+	nl.Connect(r.ClockPin(), ck)
+	nl.MoveGate(cb, 10, 450)
+	nl.MoveGate(r, 700, 450)
+	nl.ClassifyKinds()
+	a.Recompute()
+	if a.CoupledCap(ck) != 0 {
+		t.Errorf("clock net accumulated coupling %g", a.CoupledCap(ck))
+	}
+}

@@ -1,0 +1,682 @@
+// Package partition implements the min-cut bipartitioner underneath the
+// Partitioner transform of §4.1: multilevel coarsening (heavy-edge style
+// matching, refs [2,13]) with Fiduccia–Mattheyses refinement at every
+// level, optionally tie-broken by Krishnamurthy-style look-ahead gains
+// (ref [4]). Vertices carry areas; nets carry weights (which is how the
+// logical-effort net weighting of §4.3 and the clock/scan schedule of §4.5
+// influence placement). Fixed vertices model projected terminals.
+package partition
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Hypergraph is the partitioning input. Vertices are 0..NumV-1.
+type Hypergraph struct {
+	NumV int
+	// Area per vertex (balance is by area, as in the paper).
+	Area []float64
+	// Fixed[v]: -1 free, 0 or 1 pinned to that side (terminal projection).
+	Fixed []int8
+	// Nets lists each net's vertices (duplicates allowed; they are
+	// deduplicated internally).
+	Nets [][]int32
+	// Weight per net; nil means all 1.
+	Weight []float64
+}
+
+// netWeight returns the weight of net i.
+func (h *Hypergraph) netWeight(i int) float64 {
+	if h.Weight == nil {
+		return 1
+	}
+	return h.Weight[i]
+}
+
+// Options tunes Bipartition.
+type Options struct {
+	// TargetFrac is the desired fraction of total area on side 0
+	// (0.5 for an even split; window splits may be uneven).
+	TargetFrac float64
+	// Tolerance is the allowed relative deviation of side-0 area from
+	// target (e.g. 0.1).
+	Tolerance float64
+	// Seed drives all randomness (deterministic runs).
+	Seed int64
+	// Restarts is the number of initial partitions tried at the coarsest
+	// level.
+	Restarts int
+	// MaxPasses bounds FM passes per level.
+	MaxPasses int
+	// CoarsenTo stops coarsening at/below this vertex count.
+	CoarsenTo int
+	// LookAhead enables Krishnamurthy second-level gain tie-breaking.
+	LookAhead bool
+}
+
+// DefaultOptions returns sensible defaults for placement-sized problems.
+func DefaultOptions(seed int64) Options {
+	return Options{
+		TargetFrac: 0.5,
+		Tolerance:  0.1,
+		Seed:       seed,
+		Restarts:   4,
+		MaxPasses:  4,
+		CoarsenTo:  120,
+		LookAhead:  true,
+	}
+}
+
+// Result is a bipartition.
+type Result struct {
+	Part []int8
+	Cut  float64
+}
+
+// Cut returns the weighted cut of part on h.
+func Cut(h *Hypergraph, part []int8) float64 {
+	var cut float64
+	for i, net := range h.Nets {
+		var seen [2]bool
+		for _, v := range net {
+			seen[part[v]] = true
+		}
+		if seen[0] && seen[1] {
+			cut += h.netWeight(i)
+		}
+	}
+	return cut
+}
+
+// Bipartition splits h into two sides minimizing weighted cut subject to
+// the area balance constraint, using the multilevel scheme.
+func Bipartition(h *Hypergraph, opt Options) Result {
+	if opt.Restarts <= 0 {
+		opt.Restarts = 1
+	}
+	if opt.MaxPasses <= 0 {
+		opt.MaxPasses = 4
+	}
+	if opt.CoarsenTo <= 0 {
+		opt.CoarsenTo = 120
+	}
+	if opt.TargetFrac <= 0 || opt.TargetFrac >= 1 {
+		opt.TargetFrac = 0.5
+	}
+	if opt.Tolerance <= 0 {
+		opt.Tolerance = 0.1
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	levels := []*Hypergraph{normalize(h)}
+	maps := [][]int32{}
+	for levels[len(levels)-1].NumV > opt.CoarsenTo {
+		cur := levels[len(levels)-1]
+		next, vmap := coarsen(cur, rng)
+		if next.NumV >= cur.NumV*9/10 {
+			break // stalled; further matching won't help
+		}
+		levels = append(levels, next)
+		maps = append(maps, vmap)
+	}
+
+	coarsest := levels[len(levels)-1]
+	part := initialPartition(coarsest, opt, rng)
+	repairBalance(coarsest, part, opt)
+	refine(coarsest, part, opt, rng)
+
+	for li := len(levels) - 2; li >= 0; li-- {
+		fine := levels[li]
+		vmap := maps[li]
+		finePart := make([]int8, fine.NumV)
+		for v := 0; v < fine.NumV; v++ {
+			finePart[v] = part[vmap[v]]
+		}
+		part = finePart
+		repairBalance(fine, part, opt)
+		refine(fine, part, opt, rng)
+	}
+	return Result{Part: part, Cut: Cut(levels[0], part)}
+}
+
+// normalize copies h with deduplicated net pins and dropped degenerate
+// nets, so the core algorithms can assume clean input.
+func normalize(h *Hypergraph) *Hypergraph {
+	out := &Hypergraph{
+		NumV:  h.NumV,
+		Area:  h.Area,
+		Fixed: h.Fixed,
+	}
+	if out.Area == nil {
+		out.Area = make([]float64, h.NumV)
+		for i := range out.Area {
+			out.Area[i] = 1
+		}
+	}
+	if out.Fixed == nil {
+		out.Fixed = make([]int8, h.NumV)
+		for i := range out.Fixed {
+			out.Fixed[i] = -1
+		}
+	}
+	stamp := make([]int, h.NumV)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for i, net := range h.Nets {
+		var uniq []int32
+		for _, v := range net {
+			if stamp[v] != i {
+				stamp[v] = i
+				uniq = append(uniq, v)
+			}
+		}
+		if len(uniq) < 2 {
+			continue
+		}
+		out.Nets = append(out.Nets, uniq)
+		out.Weight = append(out.Weight, h.netWeight(i))
+	}
+	// Weight slice always present after normalize.
+	return out
+}
+
+// incidence builds vertex → net-index lists.
+func incidence(h *Hypergraph) [][]int32 {
+	inc := make([][]int32, h.NumV)
+	for i, net := range h.Nets {
+		for _, v := range net {
+			inc[v] = append(inc[v], int32(i))
+		}
+	}
+	return inc
+}
+
+// coarsen contracts a heavy-edge-style matching: each free vertex picks
+// the unmatched neighbor with the largest accumulated clique weight
+// (w/(|net|−1) per shared net). Fixed vertices stay singletons.
+func coarsen(h *Hypergraph, rng *rand.Rand) (*Hypergraph, []int32) {
+	inc := incidence(h)
+	order := rng.Perm(h.NumV)
+	match := make([]int32, h.NumV)
+	for i := range match {
+		match[i] = -1
+	}
+
+	score := make([]float64, h.NumV)
+	var touched []int32
+	for _, vi := range order {
+		v := int32(vi)
+		if match[v] != -1 || h.Fixed[v] != -1 {
+			continue
+		}
+		touched = touched[:0]
+		for _, ni := range inc[v] {
+			net := h.Nets[ni]
+			if len(net) > 16 {
+				continue // huge nets carry no clustering signal
+			}
+			w := h.netWeight(int(ni)) / float64(len(net)-1)
+			for _, u := range net {
+				if u == v || match[u] != -1 || h.Fixed[u] != -1 {
+					continue
+				}
+				if score[u] == 0 {
+					touched = append(touched, u)
+				}
+				score[u] += w
+			}
+		}
+		var best int32 = -1
+		bestScore := 0.0
+		for _, u := range touched {
+			if score[u] > bestScore {
+				best, bestScore = u, score[u]
+			}
+			score[u] = 0
+		}
+		if best != -1 {
+			match[v] = best
+			match[best] = v
+		}
+	}
+
+	vmap := make([]int32, h.NumV)
+	for i := range vmap {
+		vmap[i] = -1
+	}
+	next := int32(0)
+	for v := 0; v < h.NumV; v++ {
+		if vmap[v] != -1 {
+			continue
+		}
+		vmap[v] = next
+		if m := match[v]; m != -1 && vmap[m] == -1 {
+			vmap[m] = next
+		}
+		next++
+	}
+
+	out := &Hypergraph{
+		NumV:  int(next),
+		Area:  make([]float64, next),
+		Fixed: make([]int8, next),
+	}
+	for i := range out.Fixed {
+		out.Fixed[i] = -1
+	}
+	for v := 0; v < h.NumV; v++ {
+		nv := vmap[v]
+		out.Area[nv] += h.Area[v]
+		if h.Fixed[v] != -1 {
+			out.Fixed[nv] = h.Fixed[v]
+		}
+	}
+	stamp := make([]int32, next)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for i, net := range h.Nets {
+		var uniq []int32
+		for _, v := range net {
+			nv := vmap[v]
+			if stamp[nv] != int32(i) {
+				stamp[nv] = int32(i)
+				uniq = append(uniq, nv)
+			}
+		}
+		if len(uniq) < 2 {
+			continue
+		}
+		out.Nets = append(out.Nets, uniq)
+		out.Weight = append(out.Weight, h.netWeight(i))
+	}
+	return out, vmap
+}
+
+// initialPartition tries Restarts BFS-grown partitions plus one
+// area-greedy one and keeps the lowest-cut balanced result.
+func initialPartition(h *Hypergraph, opt Options, rng *rand.Rand) []int8 {
+	inc := incidence(h)
+	totalArea := 0.0
+	for _, a := range h.Area {
+		totalArea += a
+	}
+	target := totalArea * opt.TargetFrac
+
+	best := make([]int8, h.NumV)
+	bestCut := math.Inf(1)
+
+	for r := 0; r < opt.Restarts; r++ {
+		part := make([]int8, h.NumV)
+		for v := range part {
+			part[v] = 1
+		}
+		fixedArea0 := 0.0
+		for v := 0; v < h.NumV; v++ {
+			if h.Fixed[v] == 0 {
+				part[v] = 0
+				fixedArea0 += h.Area[v]
+			}
+		}
+		// BFS-grow side 0 from a random free seed.
+		area0 := fixedArea0
+		visited := make([]bool, h.NumV)
+		var queue []int32
+		for v := 0; v < h.NumV; v++ {
+			if h.Fixed[v] == 0 {
+				visited[v] = true
+				queue = append(queue, int32(v))
+			}
+		}
+		if len(queue) == 0 && h.NumV > 0 {
+			seed := int32(rng.Intn(h.NumV))
+			for tries := 0; h.Fixed[seed] != -1 && tries < h.NumV; tries++ {
+				seed = (seed + 1) % int32(h.NumV)
+			}
+			visited[seed] = true
+			queue = append(queue, seed)
+			if h.Fixed[seed] == -1 {
+				part[seed] = 0
+				area0 += h.Area[seed]
+			}
+		}
+		for qi := 0; qi < len(queue) && area0 < target; qi++ {
+			v := queue[qi]
+			for _, ni := range inc[v] {
+				for _, u := range h.Nets[ni] {
+					if visited[u] {
+						continue
+					}
+					visited[u] = true
+					queue = append(queue, u)
+					if h.Fixed[u] == -1 && area0 < target {
+						part[u] = 0
+						area0 += h.Area[u]
+					}
+				}
+			}
+		}
+		// Top up with random free vertices if BFS ran out of reach.
+		for _, vi := range rng.Perm(h.NumV) {
+			if area0 >= target {
+				break
+			}
+			if h.Fixed[vi] == -1 && part[vi] == 1 {
+				part[vi] = 0
+				area0 += h.Area[vi]
+			}
+		}
+		if c := Cut(h, part); c < bestCut {
+			bestCut = c
+			copy(best, part)
+		}
+	}
+	return best
+}
+
+// repairBalance greedily moves free vertices across the cut until side-0
+// area sits inside the tolerance window (FM passes preserve balance but
+// cannot create it: a pass whose best prefix is empty keeps the initial,
+// possibly imbalanced, state). Vertices are moved largest-first without
+// overshooting the window.
+func repairBalance(h *Hypergraph, part []int8, opt Options) {
+	totalArea := 0.0
+	for _, a := range h.Area {
+		totalArea += a
+	}
+	target := totalArea * opt.TargetFrac
+	lo := target - totalArea*opt.Tolerance
+	hi := target + totalArea*opt.Tolerance
+
+	area0 := 0.0
+	for v := 0; v < h.NumV; v++ {
+		if part[v] == 0 {
+			area0 += h.Area[v]
+		}
+	}
+	if area0 >= lo && area0 <= hi {
+		return
+	}
+
+	// from: the overfull side.
+	var from int8
+	if area0 > hi {
+		from = 0
+	} else {
+		from = 1
+	}
+	type va struct {
+		v int32
+		a float64
+	}
+	var cands []va
+	for v := 0; v < h.NumV; v++ {
+		if h.Fixed[v] == -1 && part[v] == from {
+			cands = append(cands, va{int32(v), h.Area[v]})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].a != cands[j].a {
+			return cands[i].a > cands[j].a
+		}
+		return cands[i].v < cands[j].v
+	})
+	for _, c := range cands {
+		if area0 >= lo && area0 <= hi {
+			return
+		}
+		var na0 float64
+		if from == 0 {
+			na0 = area0 - c.a
+			if na0 < lo {
+				continue // would overshoot; try a smaller vertex
+			}
+		} else {
+			na0 = area0 + c.a
+			if na0 > hi {
+				continue
+			}
+		}
+		part[c.v] = 1 - from
+		area0 = na0
+	}
+	// If still outside (e.g. everything fixed, or one vertex larger than
+	// the window), force the closest approach with the smallest vertices.
+	for i := len(cands) - 1; i >= 0; i-- {
+		if area0 >= lo && area0 <= hi {
+			return
+		}
+		c := cands[i]
+		if part[c.v] != from {
+			continue
+		}
+		var na0 float64
+		if from == 0 {
+			na0 = area0 - c.a
+			if na0 < lo && math.Abs(na0-target) >= math.Abs(area0-target) {
+				continue
+			}
+		} else {
+			na0 = area0 + c.a
+			if na0 > hi && math.Abs(na0-target) >= math.Abs(area0-target) {
+				continue
+			}
+		}
+		part[c.v] = 1 - from
+		area0 = na0
+	}
+}
+
+// gainEntry is a lazy max-heap element.
+type gainEntry struct {
+	gain  float64
+	tie   float64 // look-ahead secondary gain
+	v     int32
+	stamp uint32
+}
+
+type gainHeap []gainEntry
+
+func (g gainHeap) Len() int { return len(g) }
+func (g gainHeap) Less(i, j int) bool {
+	if g[i].gain != g[j].gain {
+		return g[i].gain > g[j].gain
+	}
+	if g[i].tie != g[j].tie {
+		return g[i].tie > g[j].tie
+	}
+	return g[i].v < g[j].v
+}
+func (g gainHeap) Swap(i, j int)       { g[i], g[j] = g[j], g[i] }
+func (g *gainHeap) Push(x interface{}) { *g = append(*g, x.(gainEntry)) }
+func (g *gainHeap) Pop() interface{} {
+	n := len(*g) - 1
+	v := (*g)[n]
+	*g = (*g)[:n]
+	return v
+}
+
+// refine runs FM passes on part in place until a pass yields no
+// improvement or MaxPasses is hit.
+func refine(h *Hypergraph, part []int8, opt Options, rng *rand.Rand) {
+	inc := incidence(h)
+	totalArea := 0.0
+	for _, a := range h.Area {
+		totalArea += a
+	}
+	target := totalArea * opt.TargetFrac
+	lo := target - totalArea*opt.Tolerance
+	hi := target + totalArea*opt.Tolerance
+
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		if !fmPass(h, part, inc, lo, hi, opt.LookAhead) {
+			break
+		}
+	}
+	_ = rng
+}
+
+// fmPass performs one Fiduccia–Mattheyses pass; reports improvement.
+func fmPass(h *Hypergraph, part []int8, inc [][]int32, lo, hi float64, lookAhead bool) bool {
+	n := h.NumV
+	// Side counts per net.
+	cnt := make([][2]int32, len(h.Nets))
+	for i, net := range h.Nets {
+		for _, v := range net {
+			cnt[i][part[v]]++
+		}
+	}
+	gain := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if h.Fixed[v] != -1 {
+			continue
+		}
+		s := part[v]
+		for _, ni := range inc[v] {
+			w := h.netWeight(int(ni))
+			if cnt[ni][s] == 1 {
+				gain[v] += w
+			}
+			if cnt[ni][1-s] == 0 {
+				gain[v] -= w
+			}
+		}
+	}
+	area0 := 0.0
+	for v := 0; v < n; v++ {
+		if part[v] == 0 {
+			area0 += h.Area[v]
+		}
+	}
+
+	stamp := make([]uint32, n)
+	hp := make(gainHeap, 0, n)
+	pushV := func(v int32) {
+		stamp[v]++
+		var tie float64
+		if lookAhead {
+			tie = lookAheadGain(h, inc, cnt, part, v)
+		}
+		hp = append(hp, gainEntry{gain: gain[v], tie: tie, v: v, stamp: stamp[v]})
+	}
+	for v := 0; v < n; v++ {
+		if h.Fixed[v] == -1 {
+			pushV(int32(v))
+		}
+	}
+	heap.Init(&hp)
+
+	locked := make([]bool, n)
+	type mv struct {
+		v    int32
+		gain float64
+	}
+	var seq []mv
+	cum, bestCum, bestIdx := 0.0, 0.0, -1
+
+	updateGain := func(v int32, d float64) {
+		gain[v] += d
+		if !locked[v] && h.Fixed[v] == -1 {
+			stamp[v]++
+			var tie float64
+			if lookAhead {
+				tie = lookAheadGain(h, inc, cnt, part, v)
+			}
+			heap.Push(&hp, gainEntry{gain: gain[v], tie: tie, v: v, stamp: stamp[v]})
+		}
+	}
+
+	for hp.Len() > 0 {
+		ent := heap.Pop(&hp).(gainEntry)
+		v := ent.v
+		if locked[v] || ent.stamp != stamp[v] {
+			continue
+		}
+		// Balance check for moving v to the other side.
+		var na0 float64
+		if part[v] == 0 {
+			na0 = area0 - h.Area[v]
+		} else {
+			na0 = area0 + h.Area[v]
+		}
+		if na0 < lo || na0 > hi {
+			continue // cannot move now; a later better state may allow it,
+			// but classic FM skips — acceptable with tolerance windows
+		}
+		from := part[v]
+		to := 1 - from
+
+		// FM gain-update rules, before and after the move.
+		for _, ni := range inc[v] {
+			w := h.netWeight(int(ni))
+			net := h.Nets[ni]
+			if cnt[ni][to] == 0 {
+				for _, u := range net {
+					if u != v && !locked[u] && h.Fixed[u] == -1 {
+						updateGain(u, w)
+					}
+				}
+			} else if cnt[ni][to] == 1 {
+				for _, u := range net {
+					if u != v && part[u] == to && !locked[u] && h.Fixed[u] == -1 {
+						updateGain(u, -w)
+					}
+				}
+			}
+			cnt[ni][from]--
+			cnt[ni][to]++
+			if cnt[ni][from] == 0 {
+				for _, u := range net {
+					if u != v && !locked[u] && h.Fixed[u] == -1 {
+						updateGain(u, -w)
+					}
+				}
+			} else if cnt[ni][from] == 1 {
+				for _, u := range net {
+					if u != v && part[u] == from && !locked[u] && h.Fixed[u] == -1 {
+						updateGain(u, w)
+					}
+				}
+			}
+		}
+		part[v] = int8(to)
+		area0 = na0
+		locked[v] = true
+		cum += ent.gain
+		seq = append(seq, mv{v, ent.gain})
+		if cum > bestCum+1e-12 {
+			bestCum = cum
+			bestIdx = len(seq) - 1
+		}
+	}
+
+	// Roll back to the best prefix.
+	for i := len(seq) - 1; i > bestIdx; i-- {
+		v := seq[i].v
+		part[v] = 1 - part[v]
+	}
+	return bestIdx >= 0 && bestCum > 1e-12
+}
+
+// lookAheadGain computes a Krishnamurthy-style second-level gain: the
+// weight of cut nets that would become *removable in one more move* (two
+// pins on v's side) minus nets that a move would make harder to uncut.
+// It is used purely as a tie-break among equal first-level gains.
+func lookAheadGain(h *Hypergraph, inc [][]int32, cnt [][2]int32, part []int8, v int32) float64 {
+	var t float64
+	s := part[v]
+	for _, ni := range inc[v] {
+		w := h.netWeight(int(ni))
+		if cnt[ni][s] == 2 && cnt[ni][1-s] > 0 {
+			t += w // after moving v, one partner move uncuts the net
+		}
+		if cnt[ni][1-s] == 1 {
+			t -= w // moving v strands the lone far-side pin deeper
+		}
+	}
+	return t
+}

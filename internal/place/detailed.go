@@ -1,0 +1,323 @@
+package place
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tps/internal/netlist"
+	"tps/internal/steiner"
+)
+
+// Legalize snaps every movable gate to a standard-cell row and removes
+// overlaps with a Tetris-style greedy assignment: gates are processed left
+// to right and claim the cheapest (displacement-cost) row position that
+// does not overlap previously legalized cells. Fixed gates (pads) are left
+// alone; they live on the periphery outside the rows.
+func Legalize(nl *netlist.Netlist, chipW, chipH float64) {
+	t := nl.Lib.Tech
+	numRows := int(chipH / t.RowHeight)
+	if numRows < 1 {
+		numRows = 1
+	}
+	rowEnd := make([]float64, numRows)
+
+	var gates []*netlist.Gate
+	nl.Gates(func(g *netlist.Gate) {
+		if !g.Fixed && !g.IsPad() {
+			gates = append(gates, g)
+		}
+	})
+	sort.Slice(gates, func(i, j int) bool {
+		if gates[i].X != gates[j].X {
+			return gates[i].X < gates[j].X
+		}
+		return gates[i].ID < gates[j].ID
+	})
+
+	rowY := func(r int) float64 { return (float64(r) + 0.5) * t.RowHeight }
+
+	for _, g := range gates {
+		w := g.Width()
+		if w <= 0 {
+			w = t.SiteWidth
+		}
+		bestRow, bestX, bestCost := -1, 0.0, math.Inf(1)
+		wantRow := clampInt(int(g.Y/t.RowHeight), 0, numRows-1)
+		// Search rows outward from the desired one; displacement cost is
+		// monotone in row distance, so we can stop once row distance alone
+		// exceeds the best cost.
+		for d := 0; d < numRows; d++ {
+			for _, r := range []int{wantRow - d, wantRow + d} {
+				if r < 0 || r >= numRows || (d == 0 && r != wantRow) {
+					continue
+				}
+				dy := math.Abs(rowY(r) - g.Y)
+				if dy >= bestCost {
+					continue
+				}
+				x := math.Max(rowEnd[r], g.X-w/2)
+				if x+w > chipW {
+					x = chipW - w
+					if x < rowEnd[r] {
+						continue // row full
+					}
+				}
+				cost := dy + math.Abs(x+w/2-g.X)
+				if cost < bestCost {
+					bestRow, bestX, bestCost = r, x, cost
+				}
+			}
+			if float64(d)*t.RowHeight > bestCost {
+				break
+			}
+		}
+		if bestRow < 0 {
+			// Every row is full at or right of the target; fall back to
+			// the emptiest row (slight overflow beats a lost cell).
+			bestRow = 0
+			for r := 1; r < numRows; r++ {
+				if rowEnd[r] < rowEnd[bestRow] {
+					bestRow = r
+				}
+			}
+			bestX = rowEnd[bestRow]
+		}
+		nl.MoveGate(g, bestX+w/2, rowY(bestRow))
+		rowEnd[bestRow] = bestX + w
+	}
+}
+
+// CheckLegal verifies that no two movable gates overlap and that every
+// gate sits centered on a row. It returns the first violation.
+func CheckLegal(nl *netlist.Netlist, chipW, chipH float64) error {
+	t := nl.Lib.Tech
+	type iv struct {
+		g      *netlist.Gate
+		lo, hi float64
+	}
+	rows := make(map[int][]iv)
+	var err error
+	nl.Gates(func(g *netlist.Gate) {
+		if err != nil || g.Fixed || g.IsPad() {
+			return
+		}
+		r := int(g.Y / t.RowHeight)
+		cy := (float64(r) + 0.5) * t.RowHeight
+		if math.Abs(g.Y-cy) > 1e-6 {
+			err = fmt.Errorf("gate %s y=%g not on a row center", g.Name, g.Y)
+			return
+		}
+		w := g.Width()
+		rows[r] = append(rows[r], iv{g, g.X - w/2, g.X + w/2})
+	})
+	if err != nil {
+		return err
+	}
+	for r, ivs := range rows {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].lo < ivs[i-1].hi-1e-6 {
+				return fmt.Errorf("row %d: %s overlaps %s", r, ivs[i-1].g.Name, ivs[i].g.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// DetailedOptions tunes DetailedPlace.
+type DetailedOptions struct {
+	// WindowSize is the number of consecutive same-row cells considered
+	// together (the paper uses ≈20 objects).
+	WindowSize int
+	// MaxPermute bounds the sub-group size for exhaustive reordering.
+	MaxPermute int
+	// Passes over the whole chip.
+	Passes int
+}
+
+// DefaultDetailedOptions mirrors the paper's description.
+func DefaultDetailedOptions() DetailedOptions {
+	return DetailedOptions{WindowSize: 20, MaxPermute: 3, Passes: 1}
+}
+
+// DetailedPlace is Algorithm DetailedPlaceOpt: a window slides across each
+// row; within the window every pair swap and every permutation of small
+// sub-groups is scored (weighted Steiner length of the affected nets) and
+// the best improving move is kept, followed by in-row relegalization.
+// The score hook lets callers add timing/area terms to the paper's
+// "timing, noise and area objectives".
+func DetailedPlace(nl *netlist.Netlist, st *steiner.Cache, chipW, chipH float64, opt DetailedOptions, score func() float64) int {
+	if opt.WindowSize <= 1 {
+		opt.WindowSize = 20
+	}
+	if opt.MaxPermute < 2 {
+		opt.MaxPermute = 3
+	}
+	if opt.Passes < 1 {
+		opt.Passes = 1
+	}
+	t := nl.Lib.Tech
+
+	rows := make(map[int][]*netlist.Gate)
+	nl.Gates(func(g *netlist.Gate) {
+		if g.Fixed || g.IsPad() {
+			return
+		}
+		r := int(g.Y / t.RowHeight)
+		rows[r] = append(rows[r], g)
+	})
+	var rowIDs []int
+	for r := range rows {
+		rowIDs = append(rowIDs, r)
+		sort.Slice(rows[r], func(i, j int) bool { return rows[r][i].X < rows[r][j].X })
+	}
+	sort.Ints(rowIDs)
+
+	accepted := 0
+	for pass := 0; pass < opt.Passes; pass++ {
+		for _, r := range rowIDs {
+			row := rows[r]
+			for start := 0; start < len(row); start += opt.WindowSize / 2 {
+				end := start + opt.WindowSize
+				if end > len(row) {
+					end = len(row)
+				}
+				accepted += optimizeWindow(nl, st, row[start:end], opt, score)
+				if end == len(row) {
+					break
+				}
+			}
+		}
+	}
+	return accepted
+}
+
+// optimizeWindow tries pair swaps and small permutations within one
+// window. Gates within a window sit on the same row; swapping exchanges
+// their x-position slots (widths differ, so positions are re-packed from
+// the leftmost edge, which keeps the row legal).
+func optimizeWindow(nl *netlist.Netlist, st *steiner.Cache, win []*netlist.Gate, opt DetailedOptions, score func() float64) int {
+	if len(win) < 2 {
+		return 0
+	}
+	// Collect the nets touching the window once; the default score is
+	// their weighted HPWL — for single-row swap decisions HPWL ranks
+	// moves the same as the Steiner length at a fraction of the cost.
+	var nets []*netlist.Net
+	{
+		seen := map[int]bool{}
+		for _, g := range win {
+			for _, p := range g.Pins {
+				if n := p.Net; n != nil && !seen[n.ID] {
+					seen[n.ID] = true
+					nets = append(nets, n)
+				}
+			}
+		}
+	}
+	var pts []steiner.Point
+	localScore := func() float64 {
+		if score != nil {
+			return score()
+		}
+		var s float64
+		for _, n := range nets {
+			pts = pts[:0]
+			for _, p := range n.Pins() {
+				pts = append(pts, steiner.Point{X: p.X(), Y: p.Y()})
+			}
+			s += n.Weight * steiner.HPWL(pts)
+		}
+		return s
+	}
+	_ = st
+
+	accepted := 0
+	improved := true
+	for iter := 0; improved && iter < 3; iter++ {
+		improved = false
+		// All pair swaps.
+		for i := 0; i < len(win); i++ {
+			for j := i + 1; j < len(win); j++ {
+				before := localScore()
+				swapSlots(nl, win, i, j)
+				if after := localScore(); after < before-1e-9 {
+					accepted++
+					improved = true
+				} else {
+					swapSlots(nl, win, i, j) // revert
+				}
+			}
+		}
+		// Permutations of adjacent sub-groups of size MaxPermute.
+		if k := opt.MaxPermute; k >= 2 && len(win) >= k {
+			for i := 0; i+k <= len(win); i++ {
+				if tryPermute(nl, win, i, k, localScore) {
+					accepted++
+					improved = true
+				}
+			}
+		}
+	}
+	return accepted
+}
+
+// swapSlots exchanges the ordinal slots of win[i] and win[j] and re-packs
+// the x positions of the affected span so cells stay abutted and legal.
+func swapSlots(nl *netlist.Netlist, win []*netlist.Gate, i, j int) {
+	if i > j {
+		i, j = j, i
+	}
+	lo := win[i].X - win[i].Width()/2
+	win[i], win[j] = win[j], win[i]
+	repack(nl, win[i:j+1], lo)
+}
+
+// repack lays the gates out left to right starting at x.
+func repack(nl *netlist.Netlist, gs []*netlist.Gate, x float64) {
+	for _, g := range gs {
+		w := g.Width()
+		nl.MoveGate(g, x+w/2, g.Y)
+		x += w
+	}
+}
+
+// tryPermute exhaustively reorders win[i:i+k] and keeps the best order.
+func tryPermute(nl *netlist.Netlist, win []*netlist.Gate, i, k int, score func() float64) bool {
+	lo := win[i].X - win[i].Width()/2
+	group := make([]*netlist.Gate, k)
+	copy(group, win[i:i+k])
+	best := append([]*netlist.Gate(nil), group...)
+	bestScore := score()
+	orig := bestScore
+	perm := make([]int, k)
+	for p := range perm {
+		perm[p] = p
+	}
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == k {
+			for p, gi := range perm {
+				win[i+p] = group[gi]
+			}
+			repack(nl, win[i:i+k], lo)
+			if s := score(); s < bestScore-1e-9 {
+				bestScore = s
+				for p := range best {
+					best[p] = win[i+p]
+				}
+			}
+			return
+		}
+		for p := depth; p < k; p++ {
+			perm[depth], perm[p] = perm[p], perm[depth]
+			rec(depth + 1)
+			perm[depth], perm[p] = perm[p], perm[depth]
+		}
+	}
+	rec(0)
+	copy(win[i:i+k], best)
+	repack(nl, win[i:i+k], lo)
+	return bestScore < orig-1e-9
+}

@@ -1,0 +1,475 @@
+// Package place implements the placement transforms of §4.1: the
+// Partitioner transform (recursive min-cut bisection over the bin image,
+// with native terminal projection), the Reflow transform (merged sliding
+// windows that let logic escape early partitioning decisions), a Tetris
+// row legalizer, and the DetailedPlaceOpt sliding-window swap/permute
+// optimizer. Placement progress is the image's status number 0–100 (§5).
+package place
+
+import (
+	"math"
+	"sort"
+
+	"tps/internal/image"
+	"tps/internal/netlist"
+	"tps/internal/partition"
+	"tps/internal/steiner"
+)
+
+// Placer drives the min-cut placement of a netlist over a bin image. It is
+// a set of transforms, not a monolithic placer: Partition and Reflow may
+// be interleaved with any synthesis transform, which is the core of the
+// TPS methodology.
+type Placer struct {
+	NL   *netlist.Netlist
+	Im   *image.Image
+	Seed int64
+	// MaxNetPins skips nets larger than this during partitioning (huge
+	// nets carry no cut signal and cost quadratic time).
+	MaxNetPins int
+	// Tolerance is the per-cut area balance tolerance.
+	Tolerance float64
+
+	initialized bool
+}
+
+// New creates a placer. The image must be at level 0 (fresh).
+func New(nl *netlist.Netlist, im *image.Image, seed int64) *Placer {
+	return &Placer{NL: nl, Im: im, Seed: seed, MaxNetPins: 128, Tolerance: 0.12}
+}
+
+// Status returns the placement progress number (0–100).
+func (p *Placer) Status() int { return p.Im.Status() }
+
+// Init places every movable gate at the chip center (the single level-0
+// window) and deposits areas. Called implicitly by Partition.
+func (p *Placer) Init() {
+	if p.initialized {
+		return
+	}
+	cx, cy := p.Im.W/2, p.Im.H/2
+	p.NL.Gates(func(g *netlist.Gate) {
+		if !g.Fixed {
+			p.NL.MoveGate(g, cx, cy)
+		}
+	})
+	p.SyncImage()
+	p.initialized = true
+}
+
+// SyncImage re-deposits gate areas into the current bin grid. The netlist
+// is the source of truth; the image is the abstraction.
+func (p *Placer) SyncImage() {
+	t := p.NL.Lib.Tech
+	p.Im.ClearUsage()
+	p.NL.Gates(func(g *netlist.Gate) {
+		if g.IsPad() {
+			return
+		}
+		p.Im.Deposit(g.X, g.Y, g.Area(t))
+	})
+}
+
+// Partition is the Partitioner transform: it advances placement until the
+// status number reaches at least target (clamped to 100), performing one
+// quadrisection cut per image refinement level. Returns the new status.
+func (p *Placer) Partition(target int) int {
+	p.Init()
+	for p.Im.Status() < target {
+		if !p.cut() {
+			break
+		}
+	}
+	p.SyncImage()
+	return p.Im.Status()
+}
+
+// cut refines the image one level and redistributes every cell's gates
+// into the four child bins by two min-cut bisections (x then y), with
+// terminal projection against the rest of the chip. Reports false at max
+// refinement.
+func (p *Placer) cut() bool {
+	oldNX, oldNY := p.Im.NX, p.Im.NY
+	oldBW, oldBH := p.Im.BinW(), p.Im.BinH()
+	if !p.Im.Subdivide() {
+		return false
+	}
+
+	// Group movable gates by old cell.
+	groups := make([][]*netlist.Gate, oldNX*oldNY)
+	p.NL.Gates(func(g *netlist.Gate) {
+		if g.Fixed {
+			return
+		}
+		ix := clampInt(int(g.X/oldBW), 0, oldNX-1)
+		iy := clampInt(int(g.Y/oldBH), 0, oldNY-1)
+		groups[iy*oldNX+ix] = append(groups[iy*oldNX+ix], g)
+	})
+
+	for ci, gates := range groups {
+		if len(gates) == 0 {
+			continue
+		}
+		ix, iy := ci%oldNX, ci/oldNX
+		x0, y0 := float64(ix)*oldBW, float64(iy)*oldBH
+		p.quadrisect(gates, x0, y0, oldBW, oldBH, int64(ci))
+	}
+	return true
+}
+
+// quadrisect splits one window's gates into its four children.
+func (p *Placer) quadrisect(gates []*netlist.Gate, x0, y0, w, h float64, salt int64) {
+	xm := x0 + w/2
+	ym := y0 + h/2
+	lvl := int64(p.Im.Level)
+
+	// Stage 1: x-split. Capacity-proportional target from the child bins.
+	capL := p.halfCap(x0, y0, w/2, h)
+	capR := p.halfCap(xm, y0, w/2, h)
+	left, right := p.bisect(gates, axisX, xm, frac(capL, capR), p.Tolerance, p.Seed+salt*7919+lvl*104729)
+	for _, g := range left {
+		p.NL.MoveGate(g, x0+w/4, g.Y)
+	}
+	for _, g := range right {
+		p.NL.MoveGate(g, xm+w/4, g.Y)
+	}
+
+	// Stage 2: y-split of each half.
+	for hi, half := range [][]*netlist.Gate{left, right} {
+		if len(half) == 0 {
+			continue
+		}
+		hx := x0
+		if hi == 1 {
+			hx = xm
+		}
+		capB := p.halfCap(hx, y0, w/2, h/2)
+		capT := p.halfCap(hx, ym, w/2, h/2)
+		bot, top := p.bisect(half, axisY, ym, frac(capB, capT), p.Tolerance, p.Seed+salt*7919+lvl*104729+int64(hi)+1)
+		for _, g := range bot {
+			p.NL.MoveGate(g, g.X, y0+h/4)
+		}
+		for _, g := range top {
+			p.NL.MoveGate(g, g.X, ym+h/4)
+		}
+	}
+}
+
+// halfCap sums child-bin capacity over a rectangle (current image level).
+func (p *Placer) halfCap(x0, y0, w, h float64) float64 {
+	bw, bh := p.Im.BinW(), p.Im.BinH()
+	i0 := clampInt(int(x0/bw+0.5), 0, p.Im.NX-1)
+	j0 := clampInt(int(y0/bh+0.5), 0, p.Im.NY-1)
+	i1 := clampInt(int((x0+w)/bw+0.5)-1, 0, p.Im.NX-1)
+	j1 := clampInt(int((y0+h)/bh+0.5)-1, 0, p.Im.NY-1)
+	var s float64
+	for j := j0; j <= j1; j++ {
+		for i := i0; i <= i1; i++ {
+			s += p.Im.At(i, j).AreaCap
+		}
+	}
+	return s
+}
+
+type axis int
+
+const (
+	axisX axis = iota
+	axisY
+)
+
+// bisect partitions gates into (side0, side1) against the cut coordinate,
+// projecting every external pin of every touched net onto a fixed terminal
+// vertex on its geometric side. This is the paper's terminal projection:
+// the whole netlist and all placement locations are visible natively.
+func (p *Placer) bisect(gates []*netlist.Gate, ax axis, cut float64, targetFrac, tol float64, seed int64) (side0, side1 []*netlist.Gate) {
+	if len(gates) == 1 {
+		// Trivial: place by capacity-weighted coin — deterministic side
+		// with more room; cut cost is equal either way only if no nets,
+		// so project by the gate's net pull.
+		g := gates[0]
+		if p.pullSide(g, ax, cut) == 0 {
+			return gates, nil
+		}
+		return nil, gates
+	}
+
+	nv := len(gates)
+	h := &partition.Hypergraph{
+		NumV:  nv + 2,
+		Area:  make([]float64, nv+2),
+		Fixed: make([]int8, nv+2),
+	}
+	t := p.NL.Lib.Tech
+	vid := make(map[*netlist.Gate]int32, nv)
+	for i, g := range gates {
+		a := g.Area(t)
+		if a <= 0 {
+			a = 1e-3 // zero-footprint gates (clock-schedule trick) still count
+		}
+		h.Area[i] = a
+		h.Fixed[i] = -1
+		vid[g] = int32(i)
+	}
+	term := [2]int32{int32(nv), int32(nv + 1)}
+	h.Fixed[term[0]] = 0
+	h.Fixed[term[1]] = 1
+	// Terminal areas are zero: they must not consume balance budget.
+
+	seen := make(map[int]bool)
+	for _, g := range gates {
+		for _, pin := range g.Pins {
+			n := pin.Net
+			if n == nil || seen[n.ID] || n.Weight <= 0 {
+				continue
+			}
+			seen[n.ID] = true
+			pins := n.Pins()
+			if len(pins) > p.MaxNetPins {
+				continue
+			}
+			var verts []int32
+			hasTerm := [2]bool{}
+			for _, q := range pins {
+				if v, ok := vid[q.Gate]; ok {
+					verts = append(verts, v)
+					continue
+				}
+				side := 0
+				if coord(q.X(), q.Y(), ax) > cut {
+					side = 1
+				}
+				if !hasTerm[side] {
+					hasTerm[side] = true
+					verts = append(verts, term[side])
+				}
+			}
+			if len(verts) < 2 {
+				continue
+			}
+			h.Nets = append(h.Nets, verts)
+			h.Weight = append(h.Weight, n.Weight)
+		}
+	}
+
+	opt := partition.DefaultOptions(seed)
+	opt.TargetFrac = targetFrac
+	opt.Tolerance = tol
+	res := partition.Bipartition(h, opt)
+	for i, g := range gates {
+		if res.Part[i] == 0 {
+			side0 = append(side0, g)
+		} else {
+			side1 = append(side1, g)
+		}
+	}
+	return side0, side1
+}
+
+// pullSide returns the side (0/1) whose connected-pin centroid is closer
+// for a single gate.
+func (p *Placer) pullSide(g *netlist.Gate, ax axis, cut float64) int {
+	var sum float64
+	var n int
+	for _, pin := range g.Pins {
+		if pin.Net == nil {
+			continue
+		}
+		for _, q := range pin.Net.Pins() {
+			if q.Gate == g {
+				continue
+			}
+			sum += coord(q.X(), q.Y(), ax)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	if sum/float64(n) > cut {
+		return 1
+	}
+	return 0
+}
+
+func coord(x, y float64, ax axis) float64 {
+	if ax == axisX {
+		return x
+	}
+	return y
+}
+
+func frac(a, b float64) float64 {
+	s := a + b
+	if s <= 0 {
+		return 0.5
+	}
+	f := a / s
+	if f < 0.05 {
+		f = 0.05
+	}
+	if f > 0.95 {
+		f = 0.95
+	}
+	return f
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Reflow is the Reflow transform of §4.1: sliding windows, each the merge
+// of two adjacent cells, are re-partitioned so logic can flow back across
+// earlier cut lines. One call performs a horizontal sweep then a vertical
+// sweep at the current refinement level; window size therefore shrinks
+// automatically as placement progresses, exactly as the paper describes.
+func (p *Placer) Reflow() {
+	if p.Im.Level == 0 {
+		return
+	}
+	p.reflowSweep(axisX)
+	p.reflowSweep(axisY)
+	p.SyncImage()
+}
+
+func (p *Placer) reflowSweep(ax axis) {
+	nx, ny := p.Im.NX, p.Im.NY
+	bw, bh := p.Im.BinW(), p.Im.BinH()
+
+	// Bucket movable gates by cell once per sweep.
+	cells := make([][]*netlist.Gate, nx*ny)
+	p.NL.Gates(func(g *netlist.Gate) {
+		if g.Fixed {
+			return
+		}
+		ix, iy := p.Im.Loc(g.X, g.Y)
+		cells[iy*nx+ix] = append(cells[iy*nx+ix], g)
+	})
+
+	sweep := func(i, j int) {
+		var a, b int
+		var cut float64
+		var ca, cb float64
+		if ax == axisX {
+			a, b = j*nx+i, j*nx+i+1
+			cut = float64(i+1) * bw
+			ca = p.Im.At(i, j).AreaCap
+			cb = p.Im.At(i+1, j).AreaCap
+		} else {
+			a, b = j*nx+i, (j+1)*nx+i
+			cut = float64(j+1) * bh
+			ca = p.Im.At(i, j).AreaCap
+			cb = p.Im.At(i, j+1).AreaCap
+		}
+		merged := append(append([]*netlist.Gate{}, cells[a]...), cells[b]...)
+		if len(merged) < 2 {
+			return
+		}
+		// Reflow balance is pure capacity feasibility: any split where
+		// neither side overflows is allowed, so logic can flow back into
+		// areas the strict bipartitioner excluded.
+		tch := p.NL.Lib.Tech
+		var area float64
+		for _, g := range merged {
+			area += g.Area(tch)
+		}
+		target, tol := frac(ca, cb), p.Tolerance
+		if area > 0 {
+			loF := math.Max(0, (area-cb)/area)
+			hiF := math.Min(1, ca/area)
+			if hiF > loF {
+				target = (loF + hiF) / 2
+				tol = (hiF - loF) / 2
+			}
+		}
+		s0, s1 := p.bisect(merged, ax, cut, target, tol, p.Seed+int64(a)*31+int64(p.Im.Level)*17)
+		// Reposition to the two cell centers.
+		for _, g := range s0 {
+			cx, cy := p.cellCenter(a)
+			p.NL.MoveGate(g, cx, cy)
+		}
+		for _, g := range s1 {
+			cx, cy := p.cellCenter(b)
+			p.NL.MoveGate(g, cx, cy)
+		}
+		cells[a], cells[b] = s0, s1
+	}
+
+	if ax == axisX {
+		for j := 0; j < ny; j++ {
+			for i := 0; i+1 < nx; i++ {
+				sweep(i, j)
+			}
+		}
+	} else {
+		for i := 0; i < nx; i++ {
+			for j := 0; j+1 < ny; j++ {
+				sweep(i, j)
+			}
+		}
+	}
+}
+
+func (p *Placer) cellCenter(flat int) (float64, float64) {
+	ix, iy := flat%p.Im.NX, flat/p.Im.NX
+	return p.Im.Center(ix, iy)
+}
+
+// WirelengthHPWL returns the total weighted half-perimeter wire length —
+// the placer's internal global objective, cheaper than Steiner and used by
+// tests to verify each transform's monotone tendency.
+func WirelengthHPWL(nl *netlist.Netlist) float64 {
+	var total float64
+	nl.Nets(func(n *netlist.Net) {
+		pins := n.Pins()
+		if len(pins) < 2 {
+			return
+		}
+		pts := make([]steiner.Point, len(pins))
+		for i, q := range pins {
+			pts[i] = steiner.Point{X: q.X(), Y: q.Y()}
+		}
+		total += n.Weight * steiner.HPWL(pts)
+	})
+	return total
+}
+
+// SpreadWithinBins scatters gates that share a bin across the bin area in
+// a deterministic grid, giving the detailed-placement and routing stages
+// distinct starting coordinates. Called when placement reaches full
+// refinement.
+func (p *Placer) SpreadWithinBins() {
+	nx := p.Im.NX
+	cells := make([][]*netlist.Gate, nx*p.Im.NY)
+	p.NL.Gates(func(g *netlist.Gate) {
+		if g.Fixed {
+			return
+		}
+		ix, iy := p.Im.Loc(g.X, g.Y)
+		cells[iy*nx+ix] = append(cells[iy*nx+ix], g)
+	})
+	bw, bh := p.Im.BinW(), p.Im.BinH()
+	for ci, gs := range cells {
+		if len(gs) < 2 {
+			continue
+		}
+		sort.Slice(gs, func(i, j int) bool { return gs[i].ID < gs[j].ID })
+		ix, iy := ci%nx, ci/nx
+		x0, y0 := float64(ix)*bw, float64(iy)*bh
+		cols := 1
+		for cols*cols < len(gs) {
+			cols++
+		}
+		for k, g := range gs {
+			gx := x0 + (float64(k%cols)+0.5)*bw/float64(cols)
+			gy := y0 + (float64(k/cols)+0.5)*bh/float64(cols)
+			p.NL.MoveGate(g, gx, gy)
+		}
+	}
+}

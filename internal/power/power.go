@@ -1,0 +1,234 @@
+// Package power implements the switching-power analyzer and the
+// power-recovery transform the paper's conclusion lists among the
+// methodology's extensions ("other work involves extending algorithms to
+// optimize metrics such as noise, congestion, power and yield"). Like the
+// timing engine, it is fully incremental: switching activities propagate
+// through the same levelized netlist view, and capacitance comes from the
+// shared Steiner cache, so power numbers track every transform's edits.
+//
+// Model: dynamic power of a net is ½·α·C·V²·f with α the switching
+// activity at the driver, C the total (wire + pin) capacitance, V the
+// supply, and f = 1/period. Activities propagate from inputs/registers
+// through simple per-function transfer factors — the standard
+// Najm/transition-density style estimate.
+package power
+
+import (
+	"math"
+
+	"tps/internal/cell"
+	"tps/internal/delay"
+	"tps/internal/netlist"
+	"tps/internal/timing"
+)
+
+// Analyzer computes net switching activities and dynamic power.
+type Analyzer struct {
+	NL   *netlist.Netlist
+	Calc *delay.Calculator
+	// Vdd is the supply voltage in volts.
+	Vdd float64
+	// Period is the clock period in ps (f = 1/period).
+	Period float64
+	// PrimaryActivity is the switching activity assumed at primary
+	// inputs; register outputs switch at half of it by default.
+	PrimaryActivity float64
+
+	activity []float64 // by net ID; NaN = invalid
+	epoch    uint64
+}
+
+// New returns an analyzer over the shared calculator (loads must reflect
+// the same placement the transforms see).
+func New(nl *netlist.Netlist, calc *delay.Calculator, period float64) *Analyzer {
+	return &Analyzer{
+		NL:              nl,
+		Calc:            calc,
+		Vdd:             1.8,
+		Period:          period,
+		PrimaryActivity: 0.2,
+	}
+}
+
+// transfer returns the output activity of a function given its input
+// activity sum and count — coarse transition-density factors.
+func transfer(f cell.Func, inSum float64, inputs int) float64 {
+	if inputs == 0 {
+		return 0
+	}
+	avg := inSum / float64(inputs)
+	switch f {
+	case cell.FuncInv, cell.FuncBuf, cell.FuncClkBuf:
+		return avg
+	case cell.FuncXor2, cell.FuncXnor2:
+		// XORs propagate nearly every input transition.
+		return math.Min(1, inSum)
+	case cell.FuncNand2, cell.FuncNor2, cell.FuncAnd2, cell.FuncOr2:
+		return avg * 0.75
+	case cell.FuncNand3, cell.FuncNor3, cell.FuncAoi21, cell.FuncOai21:
+		return avg * 0.6
+	case cell.FuncNand4:
+		return avg * 0.5
+	case cell.FuncMux2:
+		return avg * 0.8
+	default:
+		return avg * 0.7
+	}
+}
+
+// Recompute derives activities for every net in topological order. The
+// analyzer is cheap enough (one linear pass) that transforms re-run it
+// after batches of edits rather than per edit.
+func (a *Analyzer) Recompute() {
+	n := a.NL.NetCap()
+	a.activity = make([]float64, n)
+	for i := range a.activity {
+		a.activity[i] = -1
+	}
+	a.epoch = a.NL.Edits
+
+	// Seed sources.
+	a.NL.Gates(func(g *netlist.Gate) {
+		for _, p := range g.Pins {
+			if p.Dir() != cell.Output || p.Net == nil {
+				continue
+			}
+			switch {
+			case g.IsPad():
+				a.activity[p.Net.ID] = a.PrimaryActivity
+			case g.IsSequential():
+				a.activity[p.Net.ID] = a.PrimaryActivity / 2
+			case g.Cell.Function == cell.FuncClkBuf:
+				a.activity[p.Net.ID] = 1 // the clock switches every cycle
+			}
+		}
+	})
+
+	// Propagate through combinational gates with a worklist; the netlist
+	// is a DAG (cycles would stall and keep activity at the seed floor).
+	changed := true
+	for pass := 0; changed && pass < 64; pass++ {
+		changed = false
+		a.NL.Gates(func(g *netlist.Gate) {
+			if g.IsPad() || g.IsSequential() || g.Cell.Function == cell.FuncClkBuf {
+				return
+			}
+			z := g.Output()
+			if z == nil || z.Net == nil || a.activity[z.Net.ID] >= 0 {
+				return
+			}
+			sum := 0.0
+			inputs := 0
+			for _, p := range g.Pins {
+				if p.Dir() != cell.Input {
+					continue
+				}
+				inputs++
+				if p.Net == nil {
+					continue
+				}
+				v := a.activity[p.Net.ID]
+				if v < 0 {
+					return // inputs not ready yet
+				}
+				sum += v
+			}
+			a.activity[z.Net.ID] = transfer(g.Cell.Function, sum, inputs)
+			changed = true
+		})
+	}
+	// Anything unresolved (cycles, floating) gets the primary default.
+	for i := range a.activity {
+		if a.activity[i] < 0 {
+			a.activity[i] = a.PrimaryActivity / 2
+		}
+	}
+}
+
+func (a *Analyzer) ensure() {
+	if a.activity == nil || a.epoch != a.NL.Edits {
+		a.Recompute()
+	}
+}
+
+// Activity returns the switching activity of net n (0..1 transitions per
+// cycle).
+func (a *Analyzer) Activity(n *netlist.Net) float64 {
+	a.ensure()
+	if n.ID >= len(a.activity) {
+		return 0
+	}
+	return a.activity[n.ID]
+}
+
+// NetPower returns the dynamic power of one net in µW.
+func (a *Analyzer) NetPower(n *netlist.Net) float64 {
+	if a.Period <= 0 {
+		return 0
+	}
+	loadFf := a.Calc.Load(n)
+	// ½·α·C·V²·f: fF·V²/ps = µW·10³ → scale: (fF=1e-15F, ps=1e-12s) →
+	// W = ½αCV²/T = ½·α·(1e-15)·V²/(T·1e-12) = ½αV²·(C/T)·1e-3 W
+	// → in µW: ½αV²·(C_fF/T_ps)·1e3.
+	return 0.5 * a.Activity(n) * a.Vdd * a.Vdd * loadFf / a.Period * 1e3
+}
+
+// Total returns the total dynamic power in µW.
+func (a *Analyzer) Total() float64 {
+	a.ensure()
+	var sum float64
+	a.NL.Nets(func(n *netlist.Net) {
+		sum += a.NetPower(n)
+	})
+	return sum
+}
+
+// RecoverPower is the power-recovery transform: downsizes gates whose
+// input pins load high-activity nets (downsizing cuts the α·C product of
+// exactly those nets) whenever the timing engine confirms the worst slack
+// does not degrade. It is the §4.4 area-recovery loop retargeted at power,
+// as the paper's conclusion anticipates. Returns accepted downsizes.
+func RecoverPower(nl *netlist.Netlist, eng *timing.Engine, a *Analyzer, slackMargin float64) int {
+	type cand struct {
+		g *netlist.Gate
+		p float64 // activity-weighted input capacitance: the saving lever
+	}
+	var cands []cand
+	nl.Gates(func(g *netlist.Gate) {
+		if g.Fixed || g.IsPad() || g.IsSequential() || g.SizeIdx <= 0 {
+			return
+		}
+		var lever float64
+		for _, p := range g.Pins {
+			if p.Dir() == cell.Input && p.Net != nil {
+				lever += a.Activity(p.Net) * p.Cap()
+			}
+		}
+		if lever <= 0 {
+			return
+		}
+		cands = append(cands, cand{g, lever})
+	})
+	// Highest power first: the biggest α·C·V²f wins pay for the slack
+	// they consume.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].p > cands[j-1].p; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	wsFloor := eng.WorstSlack()
+	accepted := 0
+	for _, c := range cands {
+		if eng.GateSlack(c.g) < slackMargin {
+			continue
+		}
+		old := c.g.SizeIdx
+		nl.SetSize(c.g, old-1)
+		if eng.WorstSlack() < wsFloor-1e-9 {
+			nl.SetSize(c.g, old)
+		} else {
+			accepted++
+		}
+	}
+	return accepted
+}

@@ -1,0 +1,151 @@
+package quadratic
+
+import (
+	"testing"
+
+	"tps/internal/cell"
+	"tps/internal/gen"
+	"tps/internal/netlist"
+	"tps/internal/place"
+)
+
+func TestTwoAnchorsPullMiddle(t *testing.T) {
+	nl := netlist.New("t", cell.Default())
+	lib := nl.Lib
+	l := nl.AddGate("l", lib.Cell("PAD"))
+	l.SizeIdx = 0
+	l.Fixed = true
+	nl.MoveGate(l, 0, 50)
+	r := nl.AddGate("r", lib.Cell("PAD"))
+	r.SizeIdx = 0
+	r.Fixed = true
+	nl.MoveGate(r, 100, 50)
+	g := nl.AddGate("g", lib.Cell("BUF"))
+	nl.SetSize(g, 0)
+	n1, n2 := nl.AddNet("n1"), nl.AddNet("n2")
+	nl.Connect(l.Pin("O"), n1)
+	nl.Connect(g.Pin("A"), n1)
+	nl.Connect(g.Output(), n2)
+	nl.Connect(r.Pin("I"), n2)
+	Place(nl, 100, 100, DefaultOptions())
+	if g.X < 25 || g.X > 75 {
+		t.Errorf("gate x = %g, want near 50", g.X)
+	}
+}
+
+func TestWeightsBias(t *testing.T) {
+	nl := netlist.New("t", cell.Default())
+	lib := nl.Lib
+	l := nl.AddGate("l", lib.Cell("PAD"))
+	l.SizeIdx = 0
+	l.Fixed = true
+	nl.MoveGate(l, 0, 50)
+	r := nl.AddGate("r", lib.Cell("PAD"))
+	r.SizeIdx = 0
+	r.Fixed = true
+	nl.MoveGate(r, 100, 50)
+	g := nl.AddGate("g", lib.Cell("BUF"))
+	nl.SetSize(g, 0)
+	n1, n2 := nl.AddNet("n1"), nl.AddNet("n2")
+	nl.Connect(l.Pin("O"), n1)
+	nl.Connect(g.Pin("A"), n1)
+	nl.Connect(g.Output(), n2)
+	nl.Connect(r.Pin("I"), n2)
+	nl.SetNetWeight(n1, 9) // pull hard toward the left pad
+	Place(nl, 100, 100, DefaultOptions())
+	if g.X >= 50 {
+		t.Errorf("weighted gate x = %g, want < 50", g.X)
+	}
+}
+
+func TestQuadraticBeatsScatterOnWirelength(t *testing.T) {
+	d := gen.Generate(cell.Default(), gen.Params{NumGates: 400, Levels: 8, Seed: 21})
+	// Scatter baseline.
+	i := 0
+	d.NL.Gates(func(g *netlist.Gate) {
+		if !g.Fixed {
+			d.NL.MoveGate(g, float64((i*2654435761)%1000)/1000*d.ChipW,
+				float64((i*40503)%1000)/1000*d.ChipH)
+			i++
+		}
+	})
+	scatter := place.WirelengthHPWL(d.NL)
+	Place(d.NL, d.ChipW, d.ChipH, DefaultOptions())
+	quad := place.WirelengthHPWL(d.NL)
+	if quad >= scatter {
+		t.Errorf("quadratic WL %g not better than scatter %g", quad, scatter)
+	}
+}
+
+func TestSpreadAvoidsClumping(t *testing.T) {
+	d := gen.Generate(cell.Default(), gen.Params{NumGates: 400, Levels: 8, Seed: 22})
+	Place(d.NL, d.ChipW, d.ChipH, DefaultOptions())
+	// Quadrant occupancy: every quadrant should hold some cells.
+	var q [4]int
+	d.NL.Gates(func(g *netlist.Gate) {
+		if g.Fixed {
+			return
+		}
+		k := 0
+		if g.X > d.ChipW/2 {
+			k |= 1
+		}
+		if g.Y > d.ChipH/2 {
+			k |= 2
+		}
+		q[k]++
+	})
+	for k, c := range q {
+		if c == 0 {
+			t.Errorf("quadrant %d empty after spreading: %v", k, q)
+		}
+	}
+}
+
+func TestAllPositionsInsideDie(t *testing.T) {
+	d := gen.Generate(cell.Default(), gen.Params{NumGates: 300, Levels: 6, Seed: 23})
+	Place(d.NL, d.ChipW, d.ChipH, DefaultOptions())
+	d.NL.Gates(func(g *netlist.Gate) {
+		if g.Fixed {
+			return
+		}
+		if g.X < 0 || g.X > d.ChipW || g.Y < 0 || g.Y > d.ChipH {
+			t.Errorf("gate %s at (%g,%g) outside %gx%g", g.Name, g.X, g.Y, d.ChipW, d.ChipH)
+		}
+	})
+}
+
+func TestZeroWeightIgnored(t *testing.T) {
+	d := gen.Generate(cell.Default(), gen.Params{NumGates: 200, Levels: 6, Seed: 24})
+	d.NL.Nets(func(n *netlist.Net) {
+		if n.Kind == netlist.Clock {
+			d.NL.SetNetWeight(n, 0)
+		}
+	})
+	Place(d.NL, d.ChipW, d.ChipH, DefaultOptions()) // must not crash
+	moved := 0
+	d.NL.Gates(func(g *netlist.Gate) {
+		if !g.Fixed && g.Placed {
+			moved++
+		}
+	})
+	if moved == 0 {
+		t.Error("nothing placed")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() float64 {
+		d := gen.Generate(cell.Default(), gen.Params{NumGates: 250, Levels: 6, Seed: 25})
+		Place(d.NL, d.ChipW, d.ChipH, DefaultOptions())
+		return place.WirelengthHPWL(d.NL)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic quadratic placement: %g vs %g", a, b)
+	}
+}
+
+func TestEmptyDesign(t *testing.T) {
+	nl := netlist.New("e", cell.Default())
+	Place(nl, 100, 100, DefaultOptions()) // no movables: no panic
+}

@@ -1,0 +1,90 @@
+package route
+
+import (
+	"math"
+	"sort"
+
+	"tps/internal/netlist"
+	"tps/internal/steiner"
+)
+
+// NetError is the wire-load prediction error of one net: how far the
+// Steiner estimate deviated from the final routed length (Figure 2).
+type NetError struct {
+	Net      *netlist.Net
+	Steiner  float64
+	Routed   float64
+	ErrorPct float64 // |routed − steiner| / routed × 100
+}
+
+// PredictionErrors computes the per-net Steiner-vs-routed error set used
+// by the Figure 2 histogram. Single-pin and zero-length nets are skipped.
+func PredictionErrors(nl *netlist.Netlist, st *steiner.Cache, res *Result) []NetError {
+	var out []NetError
+	nl.Nets(func(n *netlist.Net) {
+		r := res.LengthOf(n)
+		if r <= 0 {
+			return
+		}
+		s := st.Length(n)
+		out = append(out, NetError{
+			Net:      n,
+			Steiner:  s,
+			Routed:   r,
+			ErrorPct: math.Abs(r-s) / r * 100,
+		})
+	})
+	return out
+}
+
+// Histogram is a wire-load error histogram in fixed-width percent buckets
+// (the last bucket collects everything ≥ its lower edge).
+type Histogram struct {
+	BucketPct float64
+	Counts    []int
+	// DroppedShortest is the fraction of shortest nets excluded before
+	// counting — Figure 2 shows 0%, 10% and 20%.
+	DroppedShortest float64
+}
+
+// BuildHistogram drops the shortest dropFrac of nets (by routed length)
+// and buckets the remaining errors into bucketPct-wide bins covering
+// [0, maxPct).
+func BuildHistogram(errs []NetError, dropFrac, bucketPct, maxPct float64) Histogram {
+	sorted := append([]NetError(nil), errs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Routed != sorted[j].Routed {
+			return sorted[i].Routed < sorted[j].Routed
+		}
+		return sorted[i].Net.ID < sorted[j].Net.ID
+	})
+	skip := int(float64(len(sorted)) * dropFrac)
+	kept := sorted[skip:]
+
+	n := int(maxPct/bucketPct) + 1
+	h := Histogram{BucketPct: bucketPct, Counts: make([]int, n), DroppedShortest: dropFrac}
+	for _, e := range kept {
+		b := int(e.ErrorPct / bucketPct)
+		if b >= n {
+			b = n - 1
+		}
+		h.Counts[b]++
+	}
+	return h
+}
+
+// TailFraction returns the fraction of counted nets with error ≥ pct.
+func (h Histogram) TailFraction(pct float64) float64 {
+	total, tail := 0, 0
+	from := int(pct / h.BucketPct)
+	for i, c := range h.Counts {
+		total += c
+		if i >= from {
+			tail += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(tail) / float64(total)
+}

@@ -1,0 +1,155 @@
+package route
+
+import (
+	"testing"
+
+	"tps/internal/cell"
+	"tps/internal/gen"
+	"tps/internal/image"
+	"tps/internal/netlist"
+	"tps/internal/place"
+	"tps/internal/steiner"
+)
+
+func placedDesign(t *testing.T, gates int, seed int64) (*gen.Design, *image.Image, *steiner.Cache) {
+	t.Helper()
+	d := gen.Generate(cell.Default(), gen.Params{NumGates: gates, Levels: 7, Seed: seed})
+	im := image.New(d.ChipW, d.ChipH, d.NL.Lib.Tech.RowHeight, 0.75)
+	p := place.New(d.NL, im, seed)
+	p.Partition(100)
+	p.SpreadWithinBins()
+	st := steiner.NewCache(d.NL)
+	return d, im, st
+}
+
+func TestRouteAllCoversNets(t *testing.T) {
+	d, im, st := placedDesign(t, 200, 41)
+	res := RouteAll(d.NL, st, im)
+	live := 0
+	d.NL.Nets(func(n *netlist.Net) {
+		if n.NumPins() >= 2 {
+			live++
+			if res.LengthOf(n) <= 0 {
+				t.Errorf("net %s routed length %g", n.Name, res.LengthOf(n))
+			}
+		}
+	})
+	if res.Routed != live {
+		t.Errorf("routed %d of %d nets", res.Routed, live)
+	}
+	if res.TotalLen <= 0 {
+		t.Errorf("total length %g", res.TotalLen)
+	}
+}
+
+func TestRoutedAtLeastGridDistance(t *testing.T) {
+	// Routed length of a two-pin net can never be below the bin-center
+	// grid distance minus stubs; sanity: routed ≥ 0.5 × Steiner for
+	// long nets.
+	d, im, st := placedDesign(t, 200, 42)
+	res := RouteAll(d.NL, st, im)
+	d.NL.Nets(func(n *netlist.Net) {
+		s := st.Length(n)
+		if s < 4*im.BinW() {
+			return // short nets are quantization-dominated
+		}
+		if r := res.LengthOf(n); r < 0.5*s {
+			t.Errorf("net %s routed %g far below Steiner %g", n.Name, r, s)
+		}
+	})
+}
+
+func TestPredictionErrorsShape(t *testing.T) {
+	d, im, st := placedDesign(t, 400, 43)
+	res := RouteAll(d.NL, st, im)
+	errs := PredictionErrors(d.NL, st, res)
+	if len(errs) == 0 {
+		t.Fatal("no prediction errors computed")
+	}
+	h0 := BuildHistogram(errs, 0, 5, 80)
+	h10 := BuildHistogram(errs, 0.10, 5, 80)
+	h20 := BuildHistogram(errs, 0.20, 5, 80)
+
+	// Figure 2's key qualitative claim: the large-error tail shrinks as
+	// the shortest nets are removed.
+	t0, t10, t20 := h0.TailFraction(30), h10.TailFraction(30), h20.TailFraction(30)
+	if t10 > t0+1e-9 {
+		t.Errorf("10%% drop tail %g > full tail %g", t10, t0)
+	}
+	if t20 > t10+1e-9 {
+		t.Errorf("20%% drop tail %g > 10%% tail %g", t20, t10)
+	}
+	// Histogram counts shrink by the dropped amount.
+	sum := func(h Histogram) int {
+		s := 0
+		for _, c := range h.Counts {
+			s += c
+		}
+		return s
+	}
+	if sum(h10) >= sum(h0) || sum(h20) >= sum(h10) {
+		t.Errorf("dropping nets did not reduce counts: %d %d %d", sum(h0), sum(h10), sum(h20))
+	}
+}
+
+func TestCongestionPenaltyCausesDetours(t *testing.T) {
+	// Saturate one boundary with parallel nets: later nets must detour,
+	// so total routed length exceeds total Steiner length.
+	nl := netlist.New("t", cell.Default())
+	im := image.New(400, 400, 6, 0.7)
+	for im.NX < 4 {
+		im.Subdivide()
+	}
+	// Shrink the capacity drastically to force detours.
+	for j := 0; j < im.NY; j++ {
+		for i := 0; i < im.NX; i++ {
+			im.At(i, j).WireCapH = 2
+			im.At(i, j).WireCapV = 2
+		}
+	}
+	for k := 0; k < 12; k++ {
+		g1 := nl.AddGate("a", nl.Lib.Cell("INV"))
+		g2 := nl.AddGate("b", nl.Lib.Cell("INV"))
+		n := nl.AddNet("n")
+		nl.Connect(g1.Output(), n)
+		nl.Connect(g2.Pin("A"), n)
+		nl.MoveGate(g1, 50, 150)
+		nl.MoveGate(g2, 350, 150)
+	}
+	st := steiner.NewCache(nl)
+	res := RouteAll(nl, st, im)
+	if res.TotalLen <= st.Total()*1.02 {
+		t.Errorf("no detours under saturation: routed %g vs steiner %g", res.TotalLen, st.Total())
+	}
+}
+
+func TestRouteDeterminism(t *testing.T) {
+	run := func() float64 {
+		d, im, st := placedDesign(t, 150, 44)
+		return RouteAll(d.NL, st, im).TotalLen
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic routing: %g vs %g", a, b)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	errs := []NetError{
+		{Routed: 10, ErrorPct: 0},
+		{Routed: 20, ErrorPct: 7},
+		{Routed: 30, ErrorPct: 12},
+		{Routed: 40, ErrorPct: 500},
+	}
+	h := BuildHistogram(errs, 0, 5, 20)
+	if h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[2] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.Counts[len(h.Counts)-1] != 1 {
+		t.Errorf("overflow bucket = %v", h.Counts)
+	}
+	// Dropping 25% removes the shortest (Routed=10) net.
+	h2 := BuildHistogram(errs, 0.25, 5, 20)
+	if h2.Counts[0] != 0 {
+		t.Errorf("shortest net not dropped: %v", h2.Counts)
+	}
+}

@@ -1,0 +1,211 @@
+// Package sizing implements the gate-sizing machinery of §4.4: gain-based
+// sizeless cells, virtual and actual discretization (Algorithm
+// PlacementDisc), analyzer-coupled sizing for speed on critical regions,
+// area recovery on non-critical regions, and the post-route in-footprint
+// sizing that compensates Steiner-vs-routed mismatches without disturbing
+// placement.
+package sizing
+
+import (
+	"tps/internal/cell"
+	"tps/internal/delay"
+	"tps/internal/image"
+	"tps/internal/netlist"
+	"tps/internal/timing"
+)
+
+// targetX returns the drive multiple that realizes the gate's asserted
+// gain against the given load: X such that Cin(X) = load / gain.
+func targetX(g *netlist.Gate, load float64) float64 {
+	if g.Gain <= 0 {
+		return 1
+	}
+	// Use the largest X1 input cap (the gain-determining arc).
+	var cin float64
+	for _, p := range g.Cell.Ports {
+		if p.Dir == cell.Input && p.CapX1 > cin {
+			cin = p.CapX1
+		}
+	}
+	if cin <= 0 {
+		return 1
+	}
+	x := load / g.Gain / cin
+	if x < 1 {
+		x = 1
+	}
+	return x
+}
+
+// sizable reports whether the transform may size g.
+func sizable(g *netlist.Gate) bool {
+	return !g.Fixed && !g.IsPad() && g.Cell.Function != cell.FuncClkBuf
+}
+
+// DiscretizeVirtual performs virtual discretization: for every sizeless
+// gate the matching library size is computed from gain and load, and its
+// *footprint* is exposed to placement via the area scale — but the cell is
+// NOT linked (SizeIdx stays −1) and, critically, no resize event fires, so
+// the incremental timing graph is untouched. This is exactly the paper's
+// cheap early-cut mode. Returns the number of gates processed.
+func DiscretizeVirtual(nl *netlist.Netlist, calc *delay.Calculator) int {
+	n := 0
+	nl.Gates(func(g *netlist.Gate) {
+		if !sizable(g) || g.SizeIdx >= 0 {
+			return
+		}
+		var load float64
+		if z := g.Output(); z != nil && z.Net != nil {
+			load = calc.Load(z.Net)
+		}
+		si := g.Cell.NearestSizeIndex(targetX(g, load))
+		w := g.Cell.Sizes[si].Width
+		base := g.Cell.Sizes[0].Width
+		if base > 0 {
+			// Direct field write on purpose: geometry only, no event.
+			g.AreaScale = w / base
+		}
+		n++
+	})
+	return n
+}
+
+// DiscretizeActual links every sizeless gate to its matching library cell
+// (SetSize fires resize events; timing recomputes with real caps/drive).
+// Returns the number of gates linked.
+func DiscretizeActual(nl *netlist.Netlist, calc *delay.Calculator) int {
+	var todo []*netlist.Gate
+	nl.Gates(func(g *netlist.Gate) {
+		if sizable(g) && g.SizeIdx < 0 {
+			todo = append(todo, g)
+		}
+	})
+	for _, g := range todo {
+		var load float64
+		if z := g.Output(); z != nil && z.Net != nil {
+			load = calc.Load(z.Net)
+		}
+		si := g.Cell.NearestSizeIndex(targetX(g, load))
+		g.AreaScale = 1 // virtual footprint no longer needed
+		nl.SetSize(g, si)
+	}
+	return len(todo)
+}
+
+// SizeForSpeed greedily upsizes gates in the critical region one drive
+// step at a time, accepting each change only if the incremental timer
+// confirms a worst-slack (or TNS at equal WS) improvement. Returns the
+// number of accepted resizes. This is the evaluator loop of §1: the
+// transform proposes, the analyzer decides.
+func SizeForSpeed(nl *netlist.Netlist, eng *timing.Engine, im *image.Image, margin float64, maxAccepts int) int {
+	accepted := 0
+	t := nl.Lib.Tech
+	for round := 0; round < 4; round++ {
+		gates := eng.CriticalGates(margin)
+		if len(gates) == 0 {
+			return accepted
+		}
+		progress := false
+		for _, g := range gates {
+			if !sizable(g) || g.SizeIdx < 0 || g.SizeIdx+1 >= len(g.Cell.Sizes) {
+				continue
+			}
+			if im != nil {
+				grow := g.Cell.Sizes[g.SizeIdx+1].Width*t.RowHeight*g.AreaScale - g.Area(t)
+				if im.TotalUsed()+grow > im.TotalCap()*0.97 {
+					continue // the die is full; upsizing would overfill
+				}
+			}
+			wsBefore := eng.WorstSlack()
+			tnsBefore := eng.TNS()
+			old := g.SizeIdx
+			nl.SetSize(g, old+1)
+			ws := eng.WorstSlack()
+			if ws > wsBefore+1e-9 || (ws >= wsBefore-1e-9 && eng.TNS() > tnsBefore+1e-9) {
+				accepted++
+				progress = true
+				if maxAccepts > 0 && accepted >= maxAccepts {
+					return accepted
+				}
+			} else {
+				nl.SetSize(g, old)
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return accepted
+}
+
+// SizeForArea downsizes gates whose slack exceeds margin, keeping each
+// change only if the design's worst slack does not degrade. Returns the
+// number of accepted downsizes (the §5 area-recovery steps at status
+// 20–30 and >80).
+func SizeForArea(nl *netlist.Netlist, eng *timing.Engine, margin float64) int {
+	accepted := 0
+	wsFloor := eng.WorstSlack()
+	var cands []*netlist.Gate
+	nl.Gates(func(g *netlist.Gate) {
+		if sizable(g) && g.SizeIdx > 0 && !g.IsSequential() {
+			cands = append(cands, g)
+		}
+	})
+	for _, g := range cands {
+		if eng.GateSlack(g) < margin {
+			continue
+		}
+		old := g.SizeIdx
+		nl.SetSize(g, old-1)
+		if eng.WorstSlack() < wsFloor-1e-9 || eng.GateSlack(g) < 0 {
+			nl.SetSize(g, old)
+		} else {
+			accepted++
+		}
+	}
+	return accepted
+}
+
+// InFootprintResize is the post-route sizing of §4.4/§5: drive strengths
+// may change to absorb the actual-vs-predicted routing mismatch, but the
+// placed footprint must not move, so the geometric width is pinned via the
+// area scale while the electrical size changes. Upsizes critical gates and
+// returns accepted changes.
+func InFootprintResize(nl *netlist.Netlist, eng *timing.Engine, margin float64) int {
+	accepted := 0
+	gates := eng.CriticalGates(margin)
+	for _, g := range gates {
+		if !sizable(g) || g.SizeIdx < 0 || g.SizeIdx+1 >= len(g.Cell.Sizes) {
+			continue
+		}
+		wsBefore := eng.WorstSlack()
+		tnsBefore := eng.TNS()
+		oldSi, oldScale := g.SizeIdx, g.AreaScale
+		keepW := g.Width()
+		nl.SetSize(g, oldSi+1)
+		// Pin the footprint: geometry unchanged ⇒ placement and routing
+		// stay valid.
+		if w := g.Cell.Sizes[g.SizeIdx].Width; w > 0 {
+			g.AreaScale = keepW / w
+		}
+		ws := eng.WorstSlack()
+		if ws > wsBefore+1e-9 || (ws >= wsBefore-1e-9 && eng.TNS() > tnsBefore+1e-9) {
+			accepted++
+		} else {
+			nl.SetSize(g, oldSi)
+			g.AreaScale = oldScale
+		}
+	}
+	return accepted
+}
+
+// AssignGains sets the asserted gain of every sizeless gate. The default
+// TPS scenario uses a uniform gain; callers may tune per-function gains
+// before timing-critical phases.
+func AssignGains(nl *netlist.Netlist, gain float64) {
+	nl.Gates(func(g *netlist.Gate) {
+		if sizable(g) && g.SizeIdx < 0 {
+			nl.SetGain(g, gain)
+		}
+	})
+}

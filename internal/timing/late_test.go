@@ -1,0 +1,150 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"tps/internal/cell"
+	"tps/internal/delay"
+	"tps/internal/netlist"
+	"tps/internal/steiner"
+)
+
+// TestPerPinLateArcs verifies that the per-port Late adders (the asymmetry
+// pin swapping exploits) enter both arrival and required times.
+func TestPerPinLateArcs(t *testing.T) {
+	nl := netlist.New("late", cell.Default())
+	lib := nl.Lib
+	pi := nl.AddGate("pi", lib.Cell("PAD"))
+	pi.SizeIdx = 0
+	pi.Fixed = true
+	nl.MoveGate(pi, 0, 0)
+	in := nl.AddNet("in")
+	nl.Connect(pi.Pin("O"), in)
+
+	nd := nl.AddGate("nd", lib.Cell("NAND3"))
+	nl.MoveGate(nd, 10, 0)
+	// Same net into all three pins: the output arrival is set by the
+	// slowest pin (C has the largest Late).
+	nl.Connect(nd.Pin("A"), in)
+	nl.Connect(nd.Pin("B"), in)
+	nl.Connect(nd.Pin("C"), in)
+	z := nl.AddNet("z")
+	nl.Connect(nd.Output(), z)
+	po := nl.AddGate("po", lib.Cell("PAD"))
+	po.SizeIdx = 0
+	po.Fixed = true
+	nl.MoveGate(po, 20, 0)
+	nl.Connect(po.Pin("I"), z)
+
+	st := steiner.NewCache(nl)
+	calc := delay.NewCalculator(nl, st, delay.GainBased)
+	e := New(nl, calc, 1000)
+
+	tau := lib.Tech.Tau
+	lateC := nd.Pin("C").Port().Late
+	if lateC <= 0 {
+		t.Fatal("NAND3 C has no Late adder; library regressed")
+	}
+	base := calc.ArcDelay(nd, nd.Output())
+	wantArr := e.Arrival(nd.Pin("C")) + lateC*tau + base
+	if got := e.Arrival(nd.Output()); math.Abs(got-wantArr) > 1e-9 {
+		t.Errorf("output arrival = %g, want %g (slowest pin dominates)", got, wantArr)
+	}
+	// Required at the slow pin is earlier than at the fast pin by the
+	// Late difference.
+	reqA := e.Required(nd.Pin("A"))
+	reqC := e.Required(nd.Pin("C"))
+	if math.Abs((reqA-reqC)-lateC*tau) > 1e-9 {
+		t.Errorf("required skew = %g, want %g", reqA-reqC, lateC*tau)
+	}
+	// Slack of the gate is set by the C pin.
+	if e.Slack(nd.Pin("C")) > e.Slack(nd.Pin("A"))+1e-9 {
+		t.Errorf("slow pin has better slack than fast pin")
+	}
+}
+
+// TestEndpointsListedOnce guards the relevel bookkeeping after edits.
+func TestEndpointsStableAcrossEdits(t *testing.T) {
+	nl := netlist.New("t", cell.Default())
+	lib := nl.Lib
+	pi := nl.AddGate("pi", lib.Cell("PAD"))
+	pi.SizeIdx = 0
+	pi.Fixed = true
+	in := nl.AddNet("in")
+	nl.Connect(pi.Pin("O"), in)
+	g := nl.AddGate("g", lib.Cell("INV"))
+	nl.Connect(g.Pin("A"), in)
+	z := nl.AddNet("z")
+	nl.Connect(g.Output(), z)
+	po := nl.AddGate("po", lib.Cell("PAD"))
+	po.SizeIdx = 0
+	po.Fixed = true
+	nl.Connect(po.Pin("I"), z)
+
+	st := steiner.NewCache(nl)
+	calc := delay.NewCalculator(nl, st, delay.GainBased)
+	e := New(nl, calc, 1000)
+	n1 := len(e.Endpoints())
+
+	// Insert and remove a buffer; endpoint count must be unchanged.
+	buf := nl.AddGate("b", lib.Cell("BUF"))
+	mid := nl.AddNet("mid")
+	nl.Disconnect(g.Output())
+	nl.Connect(g.Output(), mid)
+	nl.Connect(buf.Pin("A"), mid)
+	nl.Connect(buf.Output(), z)
+	if n2 := len(e.Endpoints()); n2 != n1 {
+		t.Fatalf("endpoints %d → %d after buffer insertion", n1, n2)
+	}
+	nl.Disconnect(buf.Pin("A"))
+	nl.Disconnect(buf.Output())
+	nl.RemoveGate(buf)
+	nl.Disconnect(g.Output())
+	nl.RemoveNet(mid)
+	nl.Connect(g.Output(), z)
+	if n3 := len(e.Endpoints()); n3 != n1 {
+		t.Fatalf("endpoints %d → %d after undo", n1, n3)
+	}
+}
+
+// TestRecomputesScaleWithConeNotDesign quantifies incrementality on a
+// wide design: a single move must evaluate orders of magnitude fewer pins
+// than the design holds.
+func TestRecomputesScaleWithConeNotDesign(t *testing.T) {
+	nl := netlist.New("wide", cell.Default())
+	lib := nl.Lib
+	// 200 independent PI→INV→PO columns.
+	var gates []*netlist.Gate
+	for i := 0; i < 200; i++ {
+		pi := nl.AddGate("pi", lib.Cell("PAD"))
+		pi.SizeIdx = 0
+		pi.Fixed = true
+		nl.MoveGate(pi, float64(i)*10, 0)
+		in := nl.AddNet("in")
+		nl.Connect(pi.Pin("O"), in)
+		g := nl.AddGate("g", lib.Cell("INV"))
+		nl.SetSize(g, 0)
+		nl.MoveGate(g, float64(i)*10, 50)
+		nl.Connect(g.Pin("A"), in)
+		z := nl.AddNet("z")
+		nl.Connect(g.Output(), z)
+		po := nl.AddGate("po", lib.Cell("PAD"))
+		po.SizeIdx = 0
+		po.Fixed = true
+		nl.MoveGate(po, float64(i)*10, 100)
+		nl.Connect(po.Pin("I"), z)
+		gates = append(gates, g)
+	}
+	st := steiner.NewCache(nl)
+	calc := delay.NewCalculator(nl, st, delay.Actual)
+	e := New(nl, calc, 1000)
+	_ = e.WorstSlack()
+	before := e.Recomputes
+	nl.MoveGate(gates[77], gates[77].X+5, gates[77].Y)
+	_ = e.WorstSlack()
+	delta := e.Recomputes - before
+	if delta > 12 {
+		t.Errorf("one-column move recomputed %d pins on a %d-pin design", delta, nl.NumPins())
+	}
+}

@@ -1,0 +1,771 @@
+// Package timing is the incremental static timing analyzer that every TPS
+// transform queries (§1, §3). It mirrors the contract of the engine the
+// paper cites (Hathaway et al., US 5,508,937): arrival and required times
+// are maintained lazily through level-ordered dirty queues, so after a
+// placement move or netlist edit only the affected cone is recomputed.
+//
+// Timing graph: pins are the timing nodes. Net edges run driver→sink with
+// a wire delay from the registered net-delay calculators; gate arcs run
+// input→output for combinational cells. Register Q pins and input-pad
+// outputs are begin points (ideal clock, arrival = clock-to-Q for
+// registers); register D/SI pins and output-pad inputs are end points with
+// required time = clock period − setup. Clock nets are excluded from data
+// propagation (ideal clock model; clock wiring quality is optimized
+// geometrically by the clock transform of §4.5).
+package timing
+
+import (
+	"container/heap"
+	"math"
+
+	"tps/internal/cell"
+	"tps/internal/delay"
+	"tps/internal/netlist"
+)
+
+const eps = 1e-6
+
+// Engine is the incremental STA engine.
+type Engine struct {
+	nl   *netlist.Netlist
+	Calc *delay.Calculator
+	// Period is the target clock period in ps.
+	Period float64
+	// Setup is the register setup time in ps.
+	Setup float64
+
+	arr, req []float64
+	level    []int32
+	// kind flags per pin, rebuilt at levelization.
+	flags []pinFlag
+
+	endpoints []*netlist.Pin
+	begins    []*netlist.Pin
+	pinOf     []*netlist.Pin // pin ID → pin
+
+	levelEpoch uint64 // nl.Edits when levels were last built
+	allDirty   bool
+
+	pendArr, pendReq []int // pin IDs with pending recompute
+	inPendArr        []bool
+	inPendReq        []bool
+
+	// Recomputes counts pin evaluations since construction; tests use it
+	// to demonstrate incrementality.
+	Recomputes int
+	// HasCycles reports that levelization found a combinational cycle;
+	// pins on cycles are frozen at arrival 0 rather than looping.
+	HasCycles bool
+}
+
+type pinFlag uint8
+
+const (
+	flagBegin pinFlag = 1 << iota
+	flagEnd
+	flagClockPin // excluded from data graph
+	flagOnCycle
+)
+
+// New creates an engine over nl with the given delay calculator and clock
+// period. The engine subscribes to netlist changes.
+func New(nl *netlist.Netlist, calc *delay.Calculator, period float64) *Engine {
+	e := &Engine{
+		nl:     nl,
+		Calc:   calc,
+		Period: period,
+		Setup:  nl.Lib.Tech.Tau,
+	}
+	nl.Observe(e)
+	return e
+}
+
+// Close unsubscribes the engine.
+func (e *Engine) Close() { e.nl.Unobserve(e) }
+
+// SetPeriod changes the clock period; all required times shift.
+func (e *Engine) SetPeriod(p float64) {
+	e.Period = p
+	e.allDirty = true
+}
+
+// SetMode switches the delay model for the whole design (gain-based early,
+// actual later, per §5) and invalidates all timing.
+func (e *Engine) SetMode(m delay.Mode) {
+	e.Calc.SetMode(m)
+	e.allDirty = true
+}
+
+// InvalidateAll forces a full recomputation on the next query — for global
+// delay-model parameter changes (e.g. the intra-bin wire estimate tracking
+// the refining bin size).
+func (e *Engine) InvalidateAll() { e.allDirty = true }
+
+// ---- graph structure helpers ----
+
+// dataNet reports whether net n participates in data timing.
+func dataNet(n *netlist.Net) bool { return n != nil && n.Kind != netlist.Clock }
+
+// isEndpointPin: register D/SI pins and output-pad I pins.
+func isEndpointPin(p *netlist.Pin) bool {
+	g := p.Gate
+	if p.Dir() != cell.Input {
+		return false
+	}
+	if g.IsSequential() {
+		return !p.Port().Clock
+	}
+	return g.IsPad()
+}
+
+// isBeginPin: register Q pins and input-pad O pins.
+func isBeginPin(p *netlist.Pin) bool {
+	if p.Dir() != cell.Output {
+		return false
+	}
+	return p.Gate.IsSequential() || p.Gate.IsPad()
+}
+
+// relevel rebuilds pin levels, flags, and begin/end lists with Kahn's
+// algorithm over the pin graph. Arrival/required values survive (they are
+// indexed by stable pin IDs): after a topology edit only the edit site —
+// marked dirty by the observer callbacks — and any newly created pins need
+// recomputation, so netlist transforms stay incremental.
+func (e *Engine) relevel() {
+	firstBuild := e.level == nil
+	oldNP := len(e.pinOf)
+	np := e.nl.NumPins()
+	e.arr = grow(e.arr, np)
+	e.req = grow(e.req, np)
+	e.level = growI32(e.level, np)
+	e.flags = growFlags(e.flags, np)
+	e.inPendArr = growBool(e.inPendArr, np)
+	e.inPendReq = growBool(e.inPendReq, np)
+	e.pinOf = growPins(e.pinOf, np)
+
+	for i := range e.flags {
+		e.flags[i] = 0
+		e.level[i] = 0
+		e.pinOf[i] = nil
+	}
+	e.endpoints = e.endpoints[:0]
+	e.begins = e.begins[:0]
+
+	indeg := make([]int32, np)
+	var queue []int
+
+	e.nl.Gates(func(g *netlist.Gate) {
+		for _, p := range g.Pins {
+			e.pinOf[p.ID] = p
+			if p.Port().Clock {
+				e.flags[p.ID] |= flagClockPin
+				continue
+			}
+			if isBeginPin(p) {
+				e.flags[p.ID] |= flagBegin
+				e.begins = append(e.begins, p)
+			}
+			if isEndpointPin(p) {
+				e.flags[p.ID] |= flagEnd
+				e.endpoints = append(e.endpoints, p)
+			}
+			indeg[p.ID] = e.countPreds(p)
+			if indeg[p.ID] == 0 {
+				queue = append(queue, p.ID)
+			}
+		}
+	})
+
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		p := e.pinOf[id]
+		if p == nil {
+			continue
+		}
+		e.forEachSucc(p, func(q *netlist.Pin) {
+			if e.level[q.ID] < e.level[id]+1 {
+				e.level[q.ID] = e.level[id] + 1
+			}
+			indeg[q.ID]--
+			if indeg[q.ID] == 0 {
+				queue = append(queue, q.ID)
+			}
+		})
+	}
+
+	e.HasCycles = false
+	for id := range indeg {
+		if indeg[id] > 0 {
+			e.flags[id] |= flagOnCycle
+			e.HasCycles = true
+		}
+	}
+
+	e.levelEpoch = e.nl.Edits
+	if firstBuild {
+		e.allDirty = true
+		return
+	}
+	// Incremental topology update: existing values stay valid away from
+	// the edit site; new pins start unknown.
+	for id := oldNP; id < np; id++ {
+		if e.pinOf[id] != nil {
+			e.markArr(id)
+			e.markReq(id)
+		}
+	}
+}
+
+// forEachPred visits the timing fanin pins of p without allocating.
+func (e *Engine) forEachPred(p *netlist.Pin, visit func(*netlist.Pin)) {
+	if e.flags[p.ID]&flagClockPin != 0 {
+		return
+	}
+	if p.Dir() == cell.Input {
+		if !dataNet(p.Net) {
+			return
+		}
+		if d := p.Net.Driver(); d != nil {
+			visit(d)
+		}
+		return
+	}
+	if isBeginPin(p) {
+		return
+	}
+	for _, q := range p.Gate.Pins {
+		if q.Dir() == cell.Input && !q.Port().Clock {
+			visit(q)
+		}
+	}
+}
+
+// forEachSucc visits the timing fanout pins of p without allocating.
+func (e *Engine) forEachSucc(p *netlist.Pin, visit func(*netlist.Pin)) {
+	if e.flags[p.ID]&flagClockPin != 0 {
+		return
+	}
+	if p.Dir() == cell.Output {
+		if !dataNet(p.Net) {
+			return
+		}
+		for _, q := range p.Net.Pins() {
+			if q.Dir() == cell.Input && !q.Port().Clock {
+				visit(q)
+			}
+		}
+		return
+	}
+	if isEndpointPin(p) {
+		return
+	}
+	if z := p.Gate.Output(); z != nil {
+		visit(z)
+	}
+}
+
+// countPreds returns the timing fanin degree of p without allocating.
+func (e *Engine) countPreds(p *netlist.Pin) int32 {
+	var n int32
+	e.forEachPred(p, func(*netlist.Pin) { n++ })
+	return n
+}
+
+// ---- evaluation ----
+
+func (e *Engine) evalArr(p *netlist.Pin) float64 {
+	e.Recomputes++
+	if e.flags[p.ID]&flagOnCycle != 0 {
+		return 0
+	}
+	if p.Dir() == cell.Input {
+		if !dataNet(p.Net) {
+			return 0
+		}
+		d := p.Net.Driver()
+		if d == nil {
+			return 0
+		}
+		return e.arr[d.ID] + e.Calc.PinArrivalDelay(p)
+	}
+	g := p.Gate
+	if g.IsPad() {
+		return 0
+	}
+	if g.IsSequential() {
+		return e.Calc.ArcDelay(g, p) // clock-to-Q from an ideal clock edge
+	}
+	worst := 0.0
+	have := false
+	tau := e.nl.Lib.Tech.Tau
+	for _, q := range g.Pins {
+		if q.Dir() == cell.Input && !q.Port().Clock && q.Net != nil && dataNet(q.Net) {
+			if a := e.arr[q.ID] + q.Port().Late*tau; !have || a > worst {
+				worst, have = a, true
+			}
+		}
+	}
+	return worst + e.Calc.ArcDelay(g, p)
+}
+
+func (e *Engine) evalReq(p *netlist.Pin) float64 {
+	e.Recomputes++
+	if e.flags[p.ID]&flagOnCycle != 0 {
+		return math.Inf(1)
+	}
+	if e.flags[p.ID]&flagEnd != 0 {
+		if p.Gate.IsSequential() {
+			return e.Period - e.Setup
+		}
+		return e.Period
+	}
+	if p.Dir() == cell.Output {
+		if !dataNet(p.Net) {
+			return math.Inf(1)
+		}
+		r := math.Inf(1)
+		for i, q := range p.Net.Pins() {
+			if q.Dir() != cell.Input || q.Port().Clock {
+				continue
+			}
+			if v := e.req[q.ID] - e.Calc.WireDelay(p.Net, i); v < r {
+				r = v
+			}
+		}
+		return r
+	}
+	z := p.Gate.Output()
+	if z == nil || p.Gate.IsSequential() {
+		return math.Inf(1)
+	}
+	return e.req[z.ID] - e.Calc.ArcDelay(p.Gate, z) - p.Port().Late*e.nl.Lib.Tech.Tau
+}
+
+// ---- dirty management & flushing ----
+
+func (e *Engine) ensure() {
+	if e.level == nil || e.levelEpoch != e.nl.Edits {
+		e.relevel()
+	}
+}
+
+func (e *Engine) markArr(id int) {
+	if id < len(e.inPendArr) {
+		if e.inPendArr[id] {
+			return
+		}
+		e.inPendArr[id] = true
+	}
+	e.pendArr = append(e.pendArr, id)
+}
+
+func (e *Engine) markReq(id int) {
+	if id < len(e.inPendReq) {
+		if e.inPendReq[id] {
+			return
+		}
+		e.inPendReq[id] = true
+	}
+	e.pendReq = append(e.pendReq, id)
+}
+
+// touchNet marks the pins whose timing depends directly on net n's
+// geometry or load: the driver's arrival (arc delay sees the load), the
+// sinks' arrivals (wire delay), the driver's required (wire delay), and
+// the driver gate's input requireds (arc delay).
+func (e *Engine) touchNet(n *netlist.Net) {
+	d := n.Driver()
+	if d != nil {
+		e.markArr(d.ID)
+		e.markReq(d.ID)
+		for _, q := range d.Gate.Pins {
+			if q.Dir() == cell.Input {
+				e.markReq(q.ID)
+			}
+		}
+	}
+	for _, q := range n.Pins() {
+		if q.Dir() == cell.Input {
+			e.markArr(q.ID)
+		}
+	}
+}
+
+// pinHeap orders pin IDs by level (ascending when sign=+1, descending when
+// sign=-1), tie-broken by ID for determinism.
+type pinHeap struct {
+	ids   []int
+	level []int32
+	sign  int32
+}
+
+func (h *pinHeap) Len() int { return len(h.ids) }
+func (h *pinHeap) Less(i, j int) bool {
+	li := h.sign * h.level[h.ids[i]]
+	lj := h.sign * h.level[h.ids[j]]
+	if li != lj {
+		return li < lj
+	}
+	return h.ids[i] < h.ids[j]
+}
+func (h *pinHeap) Swap(i, j int)      { h.ids[i], h.ids[j] = h.ids[j], h.ids[i] }
+func (h *pinHeap) Push(x interface{}) { h.ids = append(h.ids, x.(int)) }
+func (h *pinHeap) Pop() interface{} {
+	n := len(h.ids) - 1
+	v := h.ids[n]
+	h.ids = h.ids[:n]
+	return v
+}
+
+// Flush brings all timing up to date. Queries call it implicitly.
+func (e *Engine) Flush() {
+	e.ensure()
+	if e.allDirty {
+		e.flushAll()
+		return
+	}
+	if len(e.pendArr) > 0 {
+		e.flushArr()
+	}
+	if len(e.pendReq) > 0 {
+		e.flushReq()
+	}
+}
+
+func (e *Engine) flushAll() {
+	e.allDirty = false
+	e.pendArr = e.pendArr[:0]
+	e.pendReq = e.pendReq[:0]
+	for i := range e.inPendArr {
+		e.inPendArr[i] = false
+		e.inPendReq[i] = false
+	}
+	// Evaluate every pin once in level order (forward for arrival,
+	// backward for required).
+	ids := make([]int, 0, len(e.pinOf))
+	for id, p := range e.pinOf {
+		if p != nil {
+			ids = append(ids, id)
+		}
+	}
+	sortByLevel(ids, e.level, false)
+	for _, id := range ids {
+		e.arr[id] = e.evalArr(e.pinOf[id])
+	}
+	sortByLevel(ids, e.level, true)
+	for _, id := range ids {
+		e.req[id] = e.evalReq(e.pinOf[id])
+	}
+}
+
+func (e *Engine) flushArr() {
+	h := &pinHeap{level: e.level, sign: 1}
+	for _, id := range e.pendArr {
+		if id < len(e.pinOf) && e.pinOf[id] != nil {
+			e.inPendArr[id] = true // ids marked before arrays grew
+			h.ids = append(h.ids, id)
+		}
+	}
+	e.pendArr = e.pendArr[:0]
+	heap.Init(h)
+	for h.Len() > 0 {
+		id := heap.Pop(h).(int)
+		if !e.inPendArr[id] {
+			continue
+		}
+		e.inPendArr[id] = false
+		p := e.pinOf[id]
+		v := e.evalArr(p)
+		if math.Abs(v-e.arr[id]) <= eps {
+			continue
+		}
+		e.arr[id] = v
+		e.forEachSucc(p, func(q *netlist.Pin) {
+			if !e.inPendArr[q.ID] {
+				e.inPendArr[q.ID] = true
+				heap.Push(h, q.ID)
+			}
+		})
+	}
+}
+
+func (e *Engine) flushReq() {
+	h := &pinHeap{level: e.level, sign: -1}
+	for _, id := range e.pendReq {
+		if id < len(e.pinOf) && e.pinOf[id] != nil {
+			e.inPendReq[id] = true // ids marked before arrays grew
+			h.ids = append(h.ids, id)
+		}
+	}
+	e.pendReq = e.pendReq[:0]
+	heap.Init(h)
+	for h.Len() > 0 {
+		id := heap.Pop(h).(int)
+		if !e.inPendReq[id] {
+			continue
+		}
+		e.inPendReq[id] = false
+		p := e.pinOf[id]
+		v := e.evalReq(p)
+		if math.Abs(v-e.req[id]) <= eps && !(math.IsInf(v, 1) && math.IsInf(e.req[id], 1)) {
+			continue
+		}
+		e.req[id] = v
+		e.forEachPred(p, func(q *netlist.Pin) {
+			if !e.inPendReq[q.ID] {
+				e.inPendReq[q.ID] = true
+				heap.Push(h, q.ID)
+			}
+		})
+	}
+}
+
+// ---- queries ----
+
+// Arrival returns the arrival time at pin p in ps.
+func (e *Engine) Arrival(p *netlist.Pin) float64 {
+	e.Flush()
+	return e.arr[p.ID]
+}
+
+// Required returns the required time at pin p in ps.
+func (e *Engine) Required(p *netlist.Pin) float64 {
+	e.Flush()
+	return e.req[p.ID]
+}
+
+// Slack returns required − arrival at pin p.
+func (e *Engine) Slack(p *netlist.Pin) float64 {
+	e.Flush()
+	return e.req[p.ID] - e.arr[p.ID]
+}
+
+// WorstSlack returns the minimum slack over all end points (+Inf if the
+// design has none).
+func (e *Engine) WorstSlack() float64 {
+	e.Flush()
+	ws := math.Inf(1)
+	for _, p := range e.endpoints {
+		if s := e.req[p.ID] - e.arr[p.ID]; s < ws {
+			ws = s
+		}
+	}
+	return ws
+}
+
+// TNS returns the total negative slack over end points.
+func (e *Engine) TNS() float64 {
+	e.Flush()
+	var t float64
+	for _, p := range e.endpoints {
+		if s := e.req[p.ID] - e.arr[p.ID]; s < 0 {
+			t += s
+		}
+	}
+	return t
+}
+
+// NetSlack returns the slack of net n: the worst slack among its sink pins
+// (+Inf for unloaded nets).
+func (e *Engine) NetSlack(n *netlist.Net) float64 {
+	e.Flush()
+	s := math.Inf(1)
+	for _, p := range n.Pins() {
+		if p.Dir() != cell.Input || p.Port().Clock {
+			continue
+		}
+		if v := e.req[p.ID] - e.arr[p.ID]; v < s {
+			s = v
+		}
+	}
+	return s
+}
+
+// GateSlack returns the worst slack among the gate's pins.
+func (e *Engine) GateSlack(g *netlist.Gate) float64 {
+	e.Flush()
+	s := math.Inf(1)
+	for _, p := range g.Pins {
+		if e.flags[p.ID]&flagClockPin != 0 {
+			continue
+		}
+		if v := e.req[p.ID] - e.arr[p.ID]; v < s {
+			s = v
+		}
+	}
+	return s
+}
+
+// CriticalNets returns the critical region as nets whose slack is within
+// margin of the worst slack (and at most zero): the
+// obtain_critical_region(design) primitive of §4.3.
+func (e *Engine) CriticalNets(margin float64) []*netlist.Net {
+	ws := e.WorstSlack()
+	if ws >= 0 {
+		return nil
+	}
+	thr := math.Min(ws+margin, 0)
+	var out []*netlist.Net
+	e.nl.Nets(func(n *netlist.Net) {
+		if n.Kind != netlist.Signal {
+			return
+		}
+		if e.NetSlack(n) <= thr {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// CriticalGates returns gates whose slack is within margin of the worst
+// (and at most zero).
+func (e *Engine) CriticalGates(margin float64) []*netlist.Gate {
+	ws := e.WorstSlack()
+	if ws >= 0 {
+		return nil
+	}
+	thr := math.Min(ws+margin, 0)
+	var out []*netlist.Gate
+	e.nl.Gates(func(g *netlist.Gate) {
+		if g.IsPad() {
+			return
+		}
+		if e.GateSlack(g) <= thr {
+			out = append(out, g)
+		}
+	})
+	return out
+}
+
+// Endpoints returns the current end-point pins (valid until the next
+// topology change).
+func (e *Engine) Endpoints() []*netlist.Pin {
+	e.Flush()
+	return e.endpoints
+}
+
+// ---- netlist.Observer ----
+
+// GateMoved implements netlist.Observer.
+func (e *Engine) GateMoved(g *netlist.Gate) {
+	if e.level == nil || e.allDirty {
+		return // first Flush computes everything anyway
+	}
+	for _, p := range g.Pins {
+		if p.Net != nil && dataNet(p.Net) {
+			e.touchNet(p.Net)
+		}
+	}
+}
+
+// GateResized implements netlist.Observer.
+func (e *Engine) GateResized(g *netlist.Gate) {
+	if e.level == nil || e.allDirty {
+		return
+	}
+	for _, p := range g.Pins {
+		if p.Net == nil || !dataNet(p.Net) {
+			continue
+		}
+		if p.Dir() == cell.Input {
+			e.touchNet(p.Net) // our input cap loads the driving net
+		}
+	}
+	if z := g.Output(); z != nil {
+		e.markArr(z.ID) // drive strength changed
+	}
+	for _, p := range g.Pins {
+		if p.Dir() == cell.Input {
+			e.markReq(p.ID)
+		}
+	}
+}
+
+// NetChanged implements netlist.Observer. Connectivity changes bump
+// nl.Edits and force releveling lazily; weight-only changes just touch the
+// net (cheap and conservative).
+func (e *Engine) NetChanged(n *netlist.Net) {
+	if e.level == nil || e.allDirty {
+		return
+	}
+	e.touchNet(n)
+}
+
+// GateAdded implements netlist.Observer (topology epoch handles it).
+func (e *Engine) GateAdded(*netlist.Gate) {}
+
+// GateRemoved implements netlist.Observer.
+func (e *Engine) GateRemoved(*netlist.Gate) {}
+
+// ---- small helpers ----
+
+func grow(s []float64, n int) []float64 {
+	if len(s) >= n {
+		return s
+	}
+	out := make([]float64, n)
+	copy(out, s)
+	return out
+}
+
+func growI32(s []int32, n int) []int32 {
+	if len(s) >= n {
+		return s
+	}
+	out := make([]int32, n)
+	copy(out, s)
+	return out
+}
+
+func growBool(s []bool, n int) []bool {
+	if len(s) >= n {
+		return s
+	}
+	out := make([]bool, n)
+	copy(out, s)
+	return out
+}
+
+func growFlags(s []pinFlag, n int) []pinFlag {
+	if len(s) >= n {
+		return s
+	}
+	out := make([]pinFlag, n)
+	copy(out, s)
+	return out
+}
+
+func growPins(s []*netlist.Pin, n int) []*netlist.Pin {
+	if len(s) >= n {
+		return s
+	}
+	out := make([]*netlist.Pin, n)
+	copy(out, s)
+	return out
+}
+
+// sortByLevel sorts ids by level ascending (or descending), stable on ID.
+func sortByLevel(ids []int, level []int32, desc bool) {
+	// Counting sort by level: levels are small and dense.
+	var maxL int32
+	for _, id := range ids {
+		if level[id] > maxL {
+			maxL = level[id]
+		}
+	}
+	buckets := make([][]int, maxL+1)
+	for _, id := range ids {
+		buckets[level[id]] = append(buckets[level[id]], id)
+	}
+	out := ids[:0]
+	if desc {
+		for l := int(maxL); l >= 0; l-- {
+			out = append(out, buckets[l]...)
+		}
+	} else {
+		for l := 0; l <= int(maxL); l++ {
+			out = append(out, buckets[l]...)
+		}
+	}
+}

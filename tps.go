@@ -1,0 +1,179 @@
+// Package tps is a reproduction of "Transformational Placement and
+// Synthesis" (Donath et al., DATE 2000): an integrated physical-synthesis
+// engine in which placement is decomposed into transforms that mix freely
+// with logic-synthesis transforms, all coupled to incremental timing and
+// wire-length analyzers, producing a single converging flow from a bare
+// netlist to a legally placed, routed, sized design.
+//
+// Quick start:
+//
+//	d := tps.NewDesign(tps.DesignParams{NumGates: 2000, Levels: 10, Seed: 1})
+//	m := d.RunTPS(tps.DefaultTPSOptions())
+//	fmt.Printf("worst slack %.0f ps, cycle %.0f ps\n", m.WorstSlack, m.CycleAchieved)
+//
+// The package also implements the traditional synthesize–place–resynthesize
+// baseline (RunSPR) that the paper's Table 1 compares against, a global
+// router for the Figure 2 wire-load study, and a deterministic synthetic
+// design generator standing in for the paper's proprietary testcases.
+package tps
+
+import (
+	"fmt"
+	"io"
+
+	"tps/internal/cell"
+	"tps/internal/clockscan"
+	"tps/internal/core"
+	"tps/internal/gen"
+	"tps/internal/netio"
+	"tps/internal/netlist"
+	"tps/internal/noise"
+	"tps/internal/place"
+	"tps/internal/power"
+	"tps/internal/route"
+	"tps/internal/timing"
+)
+
+// DesignParams configures the synthetic design generator (see
+// internal/gen for field documentation).
+type DesignParams = gen.Params
+
+// Metrics is a flow result: the Table 1 columns plus auxiliary measures.
+type Metrics = core.Metrics
+
+// TPSOptions tunes the TPS scenario of Figure 5.
+type TPSOptions = core.TPSOptions
+
+// SPROptions tunes the baseline synthesize–place–resynthesize flow.
+type SPROptions = core.SPROptions
+
+// Histogram is a Figure 2 wire-load prediction-error histogram.
+type Histogram = route.Histogram
+
+// Library is the standard-cell library type.
+type Library = cell.Library
+
+// DefaultTPSOptions mirrors the paper's scenario parameters.
+func DefaultTPSOptions() TPSOptions { return core.DefaultTPSOptions() }
+
+// DefaultSPROptions mirrors a conventional baseline flow.
+func DefaultSPROptions() SPROptions { return core.DefaultSPROptions() }
+
+// DefaultLibrary returns the built-in synthetic standard-cell library.
+func DefaultLibrary() *Library { return cell.Default() }
+
+// Table1Params returns the generator configuration for the paper's design
+// Des<i> (1–5), scaled by scale (1.0 ≈ paper-sized cell counts).
+func Table1Params(i int, scale float64) DesignParams { return gen.Des(i, scale) }
+
+// CycleImprovementPct computes Table 1's "% cycle time impr." between an
+// SPR metrics record and a TPS one.
+func CycleImprovementPct(spr, tps Metrics) float64 {
+	return core.CycleImprovementPct(spr, tps)
+}
+
+// Design is a netlist with its physical frame, constraint, and analyzer
+// stack. One Design owns its netlist; run exactly one flow per Design and
+// regenerate (same seed = same design) to run another.
+type Design struct {
+	ctx *core.Context
+	gd  *gen.Design
+}
+
+// NewDesign generates a synthetic design and attaches the analyzers.
+func NewDesign(p DesignParams) *Design {
+	gd := gen.Generate(cell.Default(), p)
+	return &Design{ctx: core.NewContext(gd, p.Seed), gd: gd}
+}
+
+// Load reads a .tpn netlist and attaches the analyzers.
+func Load(r io.Reader) (*Design, error) {
+	gd, err := netio.Read(r, cell.Default())
+	if err != nil {
+		return nil, err
+	}
+	if gd.Period <= 0 {
+		return nil, fmt.Errorf("tps: netlist has no period constraint")
+	}
+	if gd.ChipW <= 0 || gd.ChipH <= 0 {
+		return nil, fmt.Errorf("tps: netlist has no chip dimensions")
+	}
+	return &Design{ctx: core.NewContext(gd, 1), gd: gd}, nil
+}
+
+// Save writes the design's current netlist and placement as .tpn.
+func (d *Design) Save(w io.Writer) error { return netio.Write(w, d.gd) }
+
+// SetLog directs flow progress lines to w (nil silences them).
+func (d *Design) SetLog(w io.Writer) { d.ctx.Log = w }
+
+// Netlist exposes the underlying netlist for custom transforms.
+func (d *Design) Netlist() *netlist.Netlist { return d.ctx.NL }
+
+// Timing exposes the incremental timing engine.
+func (d *Design) Timing() *timing.Engine { return d.ctx.Eng }
+
+// Period returns the clock constraint in ps.
+func (d *Design) Period() float64 { return d.ctx.Period }
+
+// Chip returns the die dimensions in µm.
+func (d *Design) Chip() (w, h float64) { return d.ctx.ChipW, d.ctx.ChipH }
+
+// Context exposes the full analyzer bundle for advanced composition.
+func (d *Design) Context() *core.Context { return d.ctx }
+
+// RunTPS executes the transformational placement and synthesis scenario
+// (Figure 5) from the bare netlist.
+func (d *Design) RunTPS(opt TPSOptions) Metrics { return core.RunTPS(d.ctx, opt) }
+
+// RunSPR executes the traditional baseline flow.
+func (d *Design) RunSPR(opt SPROptions) Metrics { return core.RunSPR(d.ctx, opt) }
+
+// Evaluate measures the design as it stands, without running a flow.
+func (d *Design) Evaluate() Metrics { return d.ctx.Evaluate("current") }
+
+// WorstSlack returns the current worst slack in ps.
+func (d *Design) WorstSlack() float64 { return d.ctx.Eng.WorstSlack() }
+
+// WireLength returns the current total Steiner wire length in µm.
+func (d *Design) WireLength() float64 { return d.ctx.St.Total() }
+
+// ClockWireLength returns the total clock-net wire length in µm.
+func (d *Design) ClockWireLength() float64 { return clockscan.ClockNetLength(d.ctx.NL) }
+
+// ScanWireLength returns the total scan-chain span length in µm.
+func (d *Design) ScanWireLength() float64 { return clockscan.ScanLength(d.ctx.NL) }
+
+// CheckLegal verifies row legality of the current placement.
+func (d *Design) CheckLegal() error {
+	return place.CheckLegal(d.ctx.NL, d.ctx.ChipW, d.ctx.ChipH)
+}
+
+// PowerAnalyzer returns a switching-power analyzer over the design's
+// shared load calculator (§7 extension).
+func (d *Design) PowerAnalyzer() *power.Analyzer {
+	return power.New(d.ctx.NL, d.ctx.Calc, d.ctx.Period)
+}
+
+// NoiseAnalyzer returns a crosstalk-noise analyzer over the design's bin
+// image and Steiner cache (§7 extension).
+func (d *Design) NoiseAnalyzer() *noise.Analyzer {
+	return noise.New(d.ctx.NL, d.ctx.St, d.ctx.Im, d.ctx.Calc)
+}
+
+// WireLoadHistograms routes the placed design and returns the Figure 2
+// prediction-error histograms for each requested shortest-net drop
+// fraction (the paper shows 0, 0.10, and 0.20). bucketPct is the histogram
+// bucket width; maxPct the top edge.
+func (d *Design) WireLoadHistograms(drops []float64, bucketPct, maxPct float64) []Histogram {
+	res := route.RouteAll(d.ctx.NL, d.ctx.St, d.ctx.Im)
+	errs := route.PredictionErrors(d.ctx.NL, d.ctx.St, res)
+	out := make([]Histogram, len(drops))
+	for i, f := range drops {
+		out[i] = route.BuildHistogram(errs, f, bucketPct, maxPct)
+	}
+	return out
+}
+
+// Close detaches the analyzers.
+func (d *Design) Close() { d.ctx.Close() }
