@@ -16,6 +16,7 @@ import (
 	"tps/internal/delay"
 	"tps/internal/gen"
 	"tps/internal/netlist"
+	"tps/internal/par"
 	"tps/internal/partition"
 	"tps/internal/sizing"
 	"tps/internal/steiner"
@@ -206,6 +207,62 @@ func BenchmarkFlowRuntime(b *testing.B) {
 		b.ReportMetric(tpsM.CPUSeconds, "tps-cpu-s")
 		b.ReportMetric(float64(spr.Iterations), "spr-iterations")
 		b.ReportMetric(float64(tpsM.Iterations), "tps-iterations")
+	}
+}
+
+// ---- parallel evaluation layer ----
+
+// BenchmarkParallelAnalyzers measures the three fanned-out analyzer hot
+// paths (full timing flush, batch Steiner refresh, congestion analysis)
+// serial vs GOMAXPROCS-wide on the same design state. Sub-benchmark names
+// carry the worker count; on a ≥4-core runner the wide variant should run
+// ≥1.5× faster per op, and the layer guarantees bit-identical metrics at
+// every width (enforced here, and by TestWorkersBitIdentical on the whole
+// flow).
+func BenchmarkParallelAnalyzers(b *testing.B) {
+	p := Table1Params(5, BenchScale)
+	widths := []int{1, par.Workers()}
+	if widths[1] == 1 {
+		widths = widths[:1]
+	}
+	var base core.Metrics
+	for wi, w := range widths {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			d := NewDesign(p)
+			defer d.Close()
+			c := d.Context()
+			c.SetWorkers(w)
+			// Place and discretize once so every iteration measures pure
+			// analysis: invalidate everything, re-flush timing over the
+			// level-parallel path, rebuild all Steiner trees, and rasterize
+			// congestion.
+			j := 0
+			c.NL.Gates(func(g *netlist.Gate) {
+				if !g.Fixed {
+					c.NL.MoveGate(g, float64(j%40)*20, float64(j/40%40)*20)
+					j++
+				}
+			})
+			sizing.DiscretizeActual(c.NL, c.Calc)
+			c.Eng.SetMode(delay.Actual)
+			var m core.Metrics
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Eng.InvalidateAll()
+				c.St.InvalidateAll()
+				m = c.Evaluate("bench")
+			}
+			b.StopTimer()
+			if wi == 0 {
+				base = m
+			} else if m.WorstSlack != base.WorstSlack || m.TNS != base.TNS ||
+				m.SteinerWireUm != base.SteinerWireUm ||
+				m.HorizPeak != base.HorizPeak || m.VertPeak != base.VertPeak {
+				b.Fatalf("workers=%d metrics diverged from serial: %+v vs %+v", w, m, base)
+			}
+			b.ReportMetric(m.WorstSlack, "slack-ps")
+			b.ReportMetric(m.SteinerWireUm, "wire-um")
+		})
 	}
 }
 

@@ -5,6 +5,13 @@
 // per cut line. The per-edge demand is also deposited into the placement
 // image so transforms (circuit relocation, congestion-driven decisions)
 // can see it.
+//
+// Rasterization fans out over the worker pool with per-chunk shard grids:
+// each worker deposits crossings into its own copy of the grid, and the
+// shards are merged in chunk order afterwards. Crossing counts are integer
+// increments (exact in float64) and per-net lengths land in ID-indexed
+// slots summed serially, so the report is bit-identical for any worker
+// count.
 package congestion
 
 import (
@@ -12,6 +19,7 @@ import (
 
 	"tps/internal/image"
 	"tps/internal/netlist"
+	"tps/internal/par"
 	"tps/internal/steiner"
 )
 
@@ -28,25 +36,63 @@ type Report struct {
 }
 
 // Analyze rasterizes every live net's Steiner tree onto im (replacing
-// prior wire usage) and returns the cut-line summary.
+// prior wire usage) and returns the cut-line summary, serially.
 func Analyze(nl *netlist.Netlist, st *steiner.Cache, im *image.Image) Report {
+	return AnalyzeN(nl, st, im, 1)
+}
+
+// AnalyzeN is Analyze with the rasterization fanned out over at most
+// workers goroutines. The report and the bins' WireUsed fields are
+// bit-identical to the serial pass.
+func AnalyzeN(nl *netlist.Netlist, st *steiner.Cache, im *image.Image, workers int) Report {
+	// Trees for stale nets build concurrently up front; afterwards the
+	// cache is read-only for the rasterization workers.
+	st.PrepareAll(workers)
+
+	var nets []*netlist.Net
+	nl.Nets(func(n *netlist.Net) { nets = append(nets, n) })
+
+	cells := im.NX * im.NY
+	perNet := make([]float64, len(nets))
+	nc := par.NumChunks(workers, len(nets))
+	shardH := make([][]float64, nc)
+	shardV := make([][]float64, nc)
+	par.For(workers, len(nets), func(chunk, lo, hi int) {
+		h := make([]float64, cells)
+		v := make([]float64, cells)
+		shardH[chunk], shardV[chunk] = h, v
+		for k := lo; k < hi; k++ {
+			t := st.Tree(nets[k])
+			var sum float64
+			for _, e := range t.Edges {
+				p, q := t.Nodes[e.U], t.Nodes[e.V]
+				sum += rasterizeL(im, h, v, p, q)
+			}
+			perNet[k] = sum
+		}
+	})
+
+	// Merge shards into the image in chunk order. Crossing counts are
+	// whole numbers, so float64 addition is exact regardless of grouping.
 	for j := 0; j < im.NY; j++ {
 		for i := 0; i < im.NX; i++ {
 			b := im.At(i, j)
 			b.WireUsedH = 0
 			b.WireUsedV = 0
+			idx := j*im.NX + i
+			for s := 0; s < nc; s++ {
+				if shardH[s] != nil {
+					b.WireUsedH += shardH[s][idx]
+					b.WireUsedV += shardV[s][idx]
+				}
+			}
 		}
 	}
-	var total float64
-	nl.Nets(func(n *netlist.Net) {
-		t := st.Tree(n)
-		for _, e := range t.Edges {
-			p, q := t.Nodes[e.U], t.Nodes[e.V]
-			total += rasterizeL(im, p, q)
-		}
-	})
 
-	r := Report{TotalWireUm: total}
+	var r Report
+	for _, L := range perNet {
+		r.TotalWireUm += L
+	}
 	// Horizontal wires cross vertical boundaries: right-edge usage of
 	// column i is the crossing count of the line between columns i, i+1.
 	if im.NX > 1 {
@@ -87,19 +133,20 @@ func Analyze(nl *netlist.Netlist, st *steiner.Cache, im *image.Image) Report {
 }
 
 // rasterizeL deposits the canonical L-shape (horizontal at p.Y, then
-// vertical at q.X) of edge p→q and returns its length.
-func rasterizeL(im *image.Image, p, q steiner.Point) float64 {
+// vertical at q.X) of edge p→q into the h/v crossing grids and returns its
+// length.
+func rasterizeL(im *image.Image, h, v []float64, p, q steiner.Point) float64 {
 	length := math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
 	// Horizontal run at y = p.Y from p.X to q.X.
-	depositH(im, p.Y, p.X, q.X)
+	depositH(im, h, p.Y, p.X, q.X)
 	// Vertical run at x = q.X from p.Y to q.Y.
-	depositV(im, q.X, p.Y, q.Y)
+	depositV(im, v, q.X, p.Y, q.Y)
 	return length
 }
 
 // depositH adds one horizontal wire crossing for every vertical bin
 // boundary strictly inside (xa, xb) at height y.
-func depositH(im *image.Image, y, xa, xb float64) {
+func depositH(im *image.Image, grid []float64, y, xa, xb float64) {
 	if xa > xb {
 		xa, xb = xb, xa
 	}
@@ -116,13 +163,13 @@ func depositH(im *image.Image, y, xa, xb float64) {
 		if bnd := float64(i) * bw; bnd <= xa+1e-9 || bnd >= xb-1e-9 {
 			continue
 		}
-		im.At(c, j).WireUsedH++
+		grid[j*im.NX+c]++
 	}
 }
 
 // depositV adds one vertical wire crossing for every horizontal bin
 // boundary strictly inside (ya, yb) at x.
-func depositV(im *image.Image, x, ya, yb float64) {
+func depositV(im *image.Image, grid []float64, x, ya, yb float64) {
 	if ya > yb {
 		ya, yb = yb, ya
 	}
@@ -138,6 +185,6 @@ func depositV(im *image.Image, x, ya, yb float64) {
 		if bnd := float64(j) * bh; bnd <= ya+1e-9 || bnd >= yb-1e-9 {
 			continue
 		}
-		im.At(i, c).WireUsedV++
+		grid[c*im.NX+i]++
 	}
 }

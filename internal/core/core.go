@@ -19,6 +19,7 @@ import (
 	"tps/internal/migrate"
 	"tps/internal/netlist"
 	"tps/internal/netweight"
+	"tps/internal/par"
 	"tps/internal/place"
 	"tps/internal/quadratic"
 	"tps/internal/relocate"
@@ -43,6 +44,12 @@ type Context struct {
 	Calc *delay.Calculator
 	Eng  *timing.Engine
 
+	// Workers is the analyzer fan-out width. The evaluation layer is
+	// engineered so results are bit-identical for every value; 1 restores
+	// fully serial analysis. Set through SetWorkers so the analyzers stay
+	// in sync.
+	Workers int
+
 	// Log receives progress lines when non-nil.
 	Log io.Writer
 }
@@ -54,10 +61,23 @@ func NewContext(d *gen.Design, seed int64) *Context {
 	st := steiner.NewCache(d.NL)
 	calc := delay.NewCalculator(d.NL, st, delay.GainBased)
 	eng := timing.New(d.NL, calc, d.Period)
-	return &Context{
+	c := &Context{
 		NL: d.NL, Period: d.Period, ChipW: d.ChipW, ChipH: d.ChipH,
 		Seed: seed, Im: im, St: st, Calc: calc, Eng: eng,
 	}
+	c.SetWorkers(par.Workers())
+	return c
+}
+
+// SetWorkers sets the analyzer fan-out width and propagates it to the
+// Steiner cache and the timing engine. n < 1 is clamped to 1 (serial).
+func (c *Context) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.Workers = n
+	c.St.Workers = n
+	c.Eng.Workers = n
 }
 
 // Close detaches the analyzers from the netlist.
@@ -115,7 +135,7 @@ func (c *Context) Evaluate(flow string) Metrics {
 	m.WorstSlack = c.Eng.WorstSlack()
 	m.TNS = c.Eng.TNS()
 	m.CycleAchieved = c.Period - m.WorstSlack
-	rep := congestion.Analyze(c.NL, c.St, c.Im)
+	rep := congestion.AnalyzeN(c.NL, c.St, c.Im, c.Workers)
 	m.HorizPeak, m.HorizAvg = rep.HorizPeak, rep.HorizAvg
 	m.VertPeak, m.VertAvg = rep.VertPeak, rep.VertAvg
 	m.SteinerWireUm = c.St.Total()
@@ -320,7 +340,7 @@ func RunTPS(c *Context, opt TPSOptions) Metrics {
 
 	m := c.Evaluate("TPS")
 	if !opt.SkipRouting {
-		res := route.RouteAll(c.NL, c.St, c.Im)
+		res := route.RouteAllN(c.NL, c.St, c.Im, c.Workers)
 		m.RoutedWireUm = res.TotalLen
 		m.RouteOverflows = res.Overflows
 		n := sizing.InFootprintResize(c.NL, c.Eng, 60)
@@ -430,7 +450,7 @@ func RunSPR(c *Context, opt SPROptions) Metrics {
 
 	m := c.Evaluate("SPR")
 	if !opt.SkipRouting {
-		res := route.RouteAll(c.NL, c.St, c.Im)
+		res := route.RouteAllN(c.NL, c.St, c.Im, c.Workers)
 		m.RoutedWireUm = res.TotalLen
 		m.RouteOverflows = res.Overflows
 		sizing.InFootprintResize(c.NL, c.Eng, 60)

@@ -11,6 +11,7 @@ import (
 
 	"tps/internal/cell"
 	"tps/internal/netlist"
+	"tps/internal/par"
 	"tps/internal/steiner"
 )
 
@@ -203,6 +204,35 @@ func (c *Calculator) grow(id int) {
 	for len(c.nets) <= id {
 		c.nets = append(c.nets, nil)
 	}
+}
+
+// Prepare batch-solves every stale net under the Actual model, fanning out
+// over at most workers goroutines. Steiner trees are batch-built first (a
+// solve walks its net's tree), after which each worker solves disjoint
+// nets and writes only its own slots. Once Prepare returns, Load,
+// WireDelay, ArcDelay, and PinArrivalDelay are pure reads until the next
+// netlist change — the property the parallel timing flush relies on. A
+// solve is a pure function of the net's tree and pin caps, so prepared
+// results are identical to lazy serial ones. No-op outside Actual mode
+// (the other models never touch the cache).
+func (c *Calculator) Prepare(workers int) {
+	if c.Mode != Actual {
+		return
+	}
+	c.St.PrepareAll(workers)
+	c.grow(c.nl.NetCap() - 1)
+	var stale []*netlist.Net
+	c.nl.Nets(func(n *netlist.Net) {
+		if c.nets[n.ID] == nil {
+			stale = append(stale, n)
+		}
+	})
+	par.For(workers, len(stale), func(_, lo, hi int) {
+		for _, n := range stale[lo:hi] {
+			c.nets[n.ID] = c.solve(n)
+		}
+	})
+	c.Solves += len(stale)
 }
 
 // net solves (or returns the memoized) RC view of net n.

@@ -277,14 +277,23 @@ func New(name string, lib *cell.Library) *Netlist {
 }
 
 // Observe registers an observer. Observers are notified in registration
-// order.
+// order. Registering from inside a callback is safe; the new observer
+// starts receiving events with the next notification.
 func (nl *Netlist) Observe(o Observer) { nl.observers = append(nl.observers, o) }
 
-// Unobserve removes a previously registered observer.
+// Unobserve removes a previously registered observer. It is safe to call
+// from inside an observer callback (an analyzer closing itself in reaction
+// to an event): removal builds a fresh slice instead of shifting the one a
+// notification loop may currently be ranging over, so the in-flight
+// notification still reaches every observer from its snapshot exactly
+// once, and subsequent notifications use the updated set.
 func (nl *Netlist) Unobserve(o Observer) {
 	for i, x := range nl.observers {
 		if x == o {
-			nl.observers = append(nl.observers[:i], nl.observers[i+1:]...)
+			obs := make([]Observer, 0, len(nl.observers)-1)
+			obs = append(obs, nl.observers[:i]...)
+			obs = append(obs, nl.observers[i+1:]...)
+			nl.observers = obs
 			return
 		}
 	}

@@ -289,3 +289,130 @@ func TestMovePin(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// closingObserver unsubscribes targets (possibly including itself) the
+// first time it sees a net event — the pattern of an analyzer calling
+// Close() from inside a callback.
+type closingObserver struct {
+	nl      *Netlist
+	name    string
+	targets []*closingObserver // unobserved on first NetChanged
+	events  int
+	fired   bool
+}
+
+func (c *closingObserver) GateMoved(*Gate)   {}
+func (c *closingObserver) GateResized(*Gate) {}
+func (c *closingObserver) GateAdded(*Gate)   {}
+func (c *closingObserver) GateRemoved(*Gate) {}
+func (c *closingObserver) NetChanged(*Net) {
+	c.events++
+	if !c.fired {
+		c.fired = true
+		for _, t := range c.targets {
+			c.nl.Unobserve(t)
+		}
+	}
+}
+
+// TestUnobserveDuringNotify is the regression test for observer-slice
+// mutation while notify is iterating: removing observers from inside a
+// callback must neither skip nor double-deliver the in-flight event to the
+// observers that remain registered.
+func TestUnobserveDuringNotify(t *testing.T) {
+	nl := newNL()
+	g := nl.AddGate("g", nl.Lib.Cell("INV"))
+	n := nl.AddNet("n")
+
+	a := &closingObserver{nl: nl, name: "a"}
+	b := &closingObserver{nl: nl, name: "b"}
+	c := &closingObserver{nl: nl, name: "c"}
+	d := &closingObserver{nl: nl, name: "d"}
+	// a removes itself AND c mid-notification; b and d stay registered.
+	a.targets = []*closingObserver{a, c}
+	for _, o := range []*closingObserver{a, b, c, d} {
+		nl.Observe(o)
+	}
+
+	nl.Connect(g.Output(), n) // one NetChanged notification
+	// The in-flight notification delivers to the registration snapshot:
+	// every observer, including the ones removed during it, sees the event
+	// exactly once — never zero (skip) and never twice (double-deliver).
+	for _, o := range []*closingObserver{a, b, c, d} {
+		if o.events != 1 {
+			t.Errorf("observer %s saw %d events during removal notify, want 1", o.name, o.events)
+		}
+	}
+
+	nl.SetNetWeight(n, 2) // second notification: a and c are gone
+	if a.events != 1 || c.events != 1 {
+		t.Errorf("removed observers kept receiving: a=%d c=%d", a.events, c.events)
+	}
+	if b.events != 2 || d.events != 2 {
+		t.Errorf("remaining observers lost events: b=%d d=%d, want 2", b.events, d.events)
+	}
+}
+
+// TestUnobserveLastDuringNotify removes the final observer in the slice
+// from inside the callback of an earlier one — the case where in-place
+// shifting used to leave the loop reading a stale tail.
+func TestUnobserveLastDuringNotify(t *testing.T) {
+	nl := newNL()
+	g := nl.AddGate("g", nl.Lib.Cell("INV"))
+	n := nl.AddNet("n")
+
+	last := &closingObserver{nl: nl, name: "last"}
+	first := &closingObserver{nl: nl, name: "first", targets: []*closingObserver{last}}
+	nl.Observe(first)
+	nl.Observe(last)
+
+	nl.Connect(g.Output(), n)
+	if first.events != 1 || last.events != 1 {
+		t.Errorf("delivery during removal: first=%d last=%d, want 1/1", first.events, last.events)
+	}
+	nl.SetNetWeight(n, 3)
+	if last.events != 1 {
+		t.Errorf("removed tail observer still notified: %d events", last.events)
+	}
+	if first.events != 2 {
+		t.Errorf("surviving observer events = %d, want 2", first.events)
+	}
+}
+
+// TestObserveDuringNotify registers a new observer from inside a callback;
+// it must not receive the in-flight event but must get the next one.
+func TestObserveDuringNotify(t *testing.T) {
+	nl := newNL()
+	g := nl.AddGate("g", nl.Lib.Cell("INV"))
+	n := nl.AddNet("n")
+
+	late := &recorder{}
+	hook := &funcObserver{onNet: func() { nl.Observe(late) }}
+	nl.Observe(hook)
+
+	nl.Connect(g.Output(), n)
+	if late.netChanged != 0 {
+		t.Errorf("late observer saw the in-flight event %d times", late.netChanged)
+	}
+	nl.SetNetWeight(n, 2)
+	if late.netChanged != 1 {
+		t.Errorf("late observer events = %d, want 1", late.netChanged)
+	}
+}
+
+// funcObserver adapts a closure to the Observer interface for tests.
+type funcObserver struct {
+	onNet func()
+	seen  int
+}
+
+func (f *funcObserver) GateMoved(*Gate)   {}
+func (f *funcObserver) GateResized(*Gate) {}
+func (f *funcObserver) GateAdded(*Gate)   {}
+func (f *funcObserver) GateRemoved(*Gate) {}
+func (f *funcObserver) NetChanged(*Net) {
+	if f.seen == 0 && f.onNet != nil {
+		f.onNet()
+	}
+	f.seen++
+}

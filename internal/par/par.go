@@ -1,0 +1,93 @@
+// Package par is the parallel evaluation layer shared by the incremental
+// analyzers (Steiner cache, delay calculator, timing engine, congestion and
+// routing evaluation). It provides bounded, chunked fan-out over index
+// ranges with a *deterministic* chunking function, so callers can allocate
+// per-chunk shards up front and merge them in chunk order. Every analyzer
+// that uses this package is required to produce bit-identical results for
+// any worker count: workers only ever write chunk-private state or disjoint
+// slots of a result slice, and all floating-point reductions happen
+// serially in index order after the fan-out completes.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// minGrain is the smallest amount of work worth shipping to a goroutine.
+// Chunks never get smaller than this, so tiny inputs run on the caller's
+// goroutine with zero overhead.
+const minGrain = 32
+
+// Workers returns the default worker count: GOMAXPROCS at call time.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// NumChunks returns the number of chunks For will use for n items with w
+// workers. It is a pure function of (w, n); callers rely on that to size
+// shard arrays before fanning out.
+func NumChunks(w, n int) int {
+	if w < 1 {
+		w = 1
+	}
+	c := (n + minGrain - 1) / minGrain
+	if c > w {
+		c = w
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// chunkBounds returns the half-open range [lo, hi) of chunk k of c over n
+// items. Chunks are contiguous and balanced to within one item.
+func chunkBounds(k, c, n int) (lo, hi int) {
+	return k * n / c, (k + 1) * n / c
+}
+
+// For runs body over [0, n) split into NumChunks(w, n) contiguous chunks,
+// one goroutine per chunk (at most w goroutines in flight). body receives
+// the chunk index and its half-open range; it must confine writes to
+// chunk-private state or to slots indexed by the item index, never to
+// shared accumulators. For returns after every chunk completes. With one
+// chunk the body runs synchronously on the caller's goroutine, making
+// w <= 1 exactly the serial evaluation order.
+func For(w, n int, body func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	c := NumChunks(w, n)
+	if c == 1 {
+		body(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(c - 1)
+	for k := 1; k < c; k++ {
+		lo, hi := chunkBounds(k, c, n)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			body(k, lo, hi)
+		}(k, lo, hi)
+	}
+	// Chunk 0 runs on the caller's goroutine: one fewer handoff, and the
+	// caller participates instead of blocking idle.
+	lo, hi := chunkBounds(0, c, n)
+	body(0, lo, hi)
+	wg.Wait()
+}
+
+// SumInts runs For and returns the sum of per-chunk int subtotals, merged
+// in chunk order. Suitable for counters (integer-valued, order-exact).
+func SumInts(w, n int, body func(chunk, lo, hi int) int) int {
+	c := NumChunks(w, n)
+	parts := make([]int, c)
+	For(w, n, func(chunk, lo, hi int) {
+		parts[chunk] = body(chunk, lo, hi)
+	})
+	var total int
+	for _, p := range parts {
+		total += p
+	}
+	return total
+}

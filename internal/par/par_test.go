@@ -1,0 +1,103 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, w := range []int{0, 1, 2, 4, 8, 64} {
+		for _, n := range []int{0, 1, 31, 32, 33, 100, 1000} {
+			hits := make([]int32, n)
+			For(w, n, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("w=%d n=%d: index %d visited %d times", w, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestNumChunksMatchesFor(t *testing.T) {
+	for _, w := range []int{1, 3, 7} {
+		for _, n := range []int{0, 1, 50, 500} {
+			want := NumChunks(w, n)
+			var got int32
+			seen := make([]bool, want)
+			For(w, n, func(chunk, lo, hi int) {
+				atomic.AddInt32(&got, 1)
+				if chunk < 0 || chunk >= want {
+					t.Errorf("chunk %d out of range [0,%d)", chunk, want)
+					return
+				}
+				seen[chunk] = true
+			})
+			if n == 0 {
+				if got != 0 {
+					t.Fatalf("w=%d n=0: body ran %d times", w, got)
+				}
+				continue
+			}
+			if int(got) != want {
+				t.Fatalf("w=%d n=%d: %d chunks ran, NumChunks says %d", w, n, got, want)
+			}
+			for k, s := range seen {
+				if !s {
+					t.Fatalf("w=%d n=%d: chunk %d never ran", w, n, k)
+				}
+			}
+		}
+	}
+}
+
+func TestNumChunksBounded(t *testing.T) {
+	if c := NumChunks(8, 10); c != 1 {
+		t.Errorf("tiny input should stay serial, got %d chunks", c)
+	}
+	if c := NumChunks(4, 1_000_000); c != 4 {
+		t.Errorf("chunks = %d, want worker bound 4", c)
+	}
+	if c := NumChunks(-3, 100); c != 1 {
+		t.Errorf("nonpositive workers: chunks = %d, want 1", c)
+	}
+}
+
+func TestSerialRunsOnCallerGoroutine(t *testing.T) {
+	// With one chunk the body must run synchronously — analyzers rely on
+	// Workers=1 being the exact serial code path.
+	var ran bool
+	For(1, 1000, func(chunk, lo, hi int) {
+		if chunk != 0 || lo != 0 || hi != 1000 {
+			t.Errorf("serial chunking = (%d,%d,%d)", chunk, lo, hi)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("body never ran")
+	}
+}
+
+func TestSumInts(t *testing.T) {
+	got := SumInts(8, 1000, func(_, lo, hi int) int {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += i
+		}
+		return s
+	})
+	if want := 1000 * 999 / 2; got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 || Workers() > runtime.NumCPU()*64 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+}

@@ -1,0 +1,59 @@
+package place
+
+import "testing"
+
+// TestDeriveSeedDistinct asserts that the seed derivation assigns distinct
+// partitioner seeds to every (salt, level, stage) subproblem a realistic
+// placement visits. The old linear mix salt*7919 + lvl*104729 + stage had
+// systematic collisions (e.g. salt+104729 at level L collided with salt at
+// level L+1), correlating the cut randomness of sibling subtrees.
+func TestDeriveSeedDistinct(t *testing.T) {
+	const root = 42
+	seen := make(map[int64][3]int64)
+	// Cover every cell index up to a deep refinement (level 8 → 256×256
+	// cells would be 65536 salts; cap the sweep at the density the old
+	// scheme already collided in).
+	for lvl := int64(0); lvl <= 8; lvl++ {
+		for salt := int64(0); salt < 1<<12; salt++ {
+			for stage := int64(0); stage < 5; stage++ {
+				s := deriveSeed(root, salt, lvl, stage)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: (salt=%d lvl=%d stage=%d) and (salt=%d lvl=%d stage=%d) both derive %d",
+						salt, lvl, stage, prev[0], prev[1], prev[2], s)
+				}
+				seen[s] = [3]int64{salt, lvl, stage}
+			}
+		}
+	}
+}
+
+// TestDeriveSeedOldSchemeCollides documents the bug the derivation
+// replaces: the linear form was many-to-one across sibling subproblems.
+func TestDeriveSeedOldSchemeCollides(t *testing.T) {
+	old := func(seed, salt, lvl, off int64) int64 { return seed + salt*7919 + lvl*104729 + off }
+	// salt' = salt + 104729, lvl' = lvl − 1 ⇒ identical seed under the old
+	// scheme whenever 104729·Δlvl = 7919·Δsalt: 104729 and 7919 are both
+	// prime, so Δsalt = 104729, Δlvl = 7919 ... but much smaller collisions
+	// exist across the stage offset: stage hi+1 at the same (salt, lvl)
+	// differs by 1, which equals Δsalt·7919 − Δlvl·104729 for suitable
+	// small deltas. Verify one concrete collision pair so the regression
+	// is self-documenting.
+	a := old(42, 104729, 0, 0)
+	b := old(42, 0, 7919, 0)
+	if a != b {
+		t.Fatalf("expected the old scheme to collide: %d vs %d", a, b)
+	}
+	if deriveSeed(42, 104729, 0, 0) == deriveSeed(42, 0, 7919, 0) {
+		t.Fatal("deriveSeed reproduces the old collision")
+	}
+}
+
+// TestDeriveSeedRootSensitivity: different root seeds must decorrelate the
+// whole derivation tree (same path, different root → different seed).
+func TestDeriveSeedRootSensitivity(t *testing.T) {
+	for root := int64(0); root < 64; root++ {
+		if deriveSeed(root, 3, 2, 1) == deriveSeed(root+1, 3, 2, 1) {
+			t.Fatalf("roots %d and %d derive the same child seed", root, root+1)
+		}
+	}
+}

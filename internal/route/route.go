@@ -15,6 +15,7 @@ import (
 
 	"tps/internal/image"
 	"tps/internal/netlist"
+	"tps/internal/par"
 	"tps/internal/steiner"
 )
 
@@ -91,6 +92,19 @@ func edgeCost(used, capacity float64) float64 {
 // RouteAll routes every live net and returns per-net routed lengths.
 // The image's WireUsed fields are updated to the routed demand.
 func RouteAll(nl *netlist.Netlist, st *steiner.Cache, im *image.Image) *Result {
+	return RouteAllN(nl, st, im, 1)
+}
+
+// RouteAllN is RouteAll with the evaluation stages fanned out over at most
+// workers goroutines: the Steiner trees that seed the route order and the
+// per-connection decomposition are batch-built in parallel, and the final
+// demand publication/overflow scan is chunked by row. The maze routing
+// itself stays strictly sequential — each net's path depends on the demand
+// committed by every net before it, and that ordering is the router's
+// quality model — so routed lengths and overflow counts are bit-identical
+// for any worker count.
+func RouteAllN(nl *netlist.Netlist, st *steiner.Cache, im *image.Image, workers int) *Result {
+	st.PrepareAll(workers)
 	d := newDemand(im)
 	res := &Result{lengths: make([]float64, nl.NetCap())}
 	for i := range res.lengths {
@@ -145,25 +159,35 @@ func RouteAll(nl *netlist.Netlist, st *steiner.Cache, im *image.Image) *Result {
 		res.Routed++
 	}
 
-	// Publish demand into the image and count overflows.
-	for j := 0; j < d.ny; j++ {
-		for i := 0; i < d.nx-1; i++ {
-			u := d.h[j*(d.nx-1)+i]
-			im.At(i, j).WireUsedH = u
-			if u > d.capH[j*(d.nx-1)+i] {
-				res.Overflows++
+	// Publish demand into the image and count overflows, chunked by row:
+	// every row's bins are written by exactly one worker, and the integer
+	// overflow subtotals merge in chunk order.
+	res.Overflows += par.SumInts(workers, d.ny, func(_, jlo, jhi int) int {
+		over := 0
+		for j := jlo; j < jhi; j++ {
+			for i := 0; i < d.nx-1; i++ {
+				u := d.h[j*(d.nx-1)+i]
+				im.At(i, j).WireUsedH = u
+				if u > d.capH[j*(d.nx-1)+i] {
+					over++
+				}
 			}
 		}
-	}
-	for j := 0; j < d.ny-1; j++ {
-		for i := 0; i < d.nx; i++ {
-			u := d.v[j*d.nx+i]
-			im.At(i, j).WireUsedV = u
-			if u > d.capV[j*d.nx+i] {
-				res.Overflows++
+		return over
+	})
+	res.Overflows += par.SumInts(workers, d.ny-1, func(_, jlo, jhi int) int {
+		over := 0
+		for j := jlo; j < jhi; j++ {
+			for i := 0; i < d.nx; i++ {
+				u := d.v[j*d.nx+i]
+				im.At(i, j).WireUsedV = u
+				if u > d.capV[j*d.nx+i] {
+					over++
+				}
 			}
 		}
-	}
+		return over
+	})
 	return res
 }
 

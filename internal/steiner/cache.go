@@ -2,6 +2,7 @@ package steiner
 
 import (
 	"tps/internal/netlist"
+	"tps/internal/par"
 )
 
 // Cache lazily builds and memoizes one Steiner tree per net, invalidating
@@ -9,9 +10,20 @@ import (
 // dynamic recalculation machinery of §3 ("the Steiner tree gets dynamically
 // re-calculated when gate positions change as well as when new cells are
 // created or old ones deleted").
+//
+// The cache itself is not safe for concurrent use; parallelism lives in
+// PrepareAll, which batch-builds all invalid trees with a bounded worker
+// pool and then leaves the cache in a fully valid, read-only-queryable
+// state. Tree construction is a pure function of the net's pin locations,
+// so the batch result is identical to lazy serial construction.
 type Cache struct {
 	nl    *netlist.Netlist
 	trees []*Tree // indexed by net ID; nil = invalid
+
+	// Workers bounds the PrepareAll fan-out used by the aggregate queries
+	// (Total, WeightedTotal). 0 or 1 keeps every build on the calling
+	// goroutine.
+	Workers int
 
 	// Rebuilds counts tree constructions since creation — tests use it to
 	// prove incrementality.
@@ -32,6 +44,35 @@ func (c *Cache) grow(id int) {
 	for len(c.trees) <= id {
 		c.trees = append(c.trees, nil)
 	}
+}
+
+// PrepareAll builds every invalid tree of a live net, fanning the
+// constructions out over at most workers goroutines. Each worker writes
+// only its own nets' slots, so the result is race-free and identical to
+// building the same trees serially. Returns the number of trees built.
+// After PrepareAll, Tree and Length are pure reads until the next netlist
+// change, which is what lets the timing and congestion evaluation layers
+// query the cache from parallel workers.
+func (c *Cache) PrepareAll(workers int) int {
+	c.grow(c.nl.NetCap() - 1)
+	var stale []*netlist.Net
+	c.nl.Nets(func(n *netlist.Net) {
+		if c.trees[n.ID] == nil {
+			stale = append(stale, n)
+		}
+	})
+	par.For(workers, len(stale), func(_, lo, hi int) {
+		for _, n := range stale[lo:hi] {
+			pins := n.Pins()
+			pts := make([]Point, len(pins))
+			for i, p := range pins {
+				pts[i] = Point{p.X(), p.Y()}
+			}
+			c.trees[n.ID] = Build(pts)
+		}
+	})
+	c.Rebuilds += len(stale)
+	return len(stale)
 }
 
 // Tree returns the Steiner tree of net n, with tree node i corresponding
@@ -56,7 +97,13 @@ func (c *Cache) Tree(n *netlist.Net) *Tree {
 func (c *Cache) Length(n *netlist.Net) float64 { return c.Tree(n).Length }
 
 // WeightedTotal returns Σ weight(net)·steinerLength(net) over live nets.
+// Stale trees are batch-built in parallel (Workers); the sum itself runs
+// serially in net ID order so the result is bit-identical for any worker
+// count.
 func (c *Cache) WeightedTotal() float64 {
+	if c.Workers > 1 {
+		c.PrepareAll(c.Workers)
+	}
 	var s float64
 	c.nl.Nets(func(n *netlist.Net) {
 		s += n.Weight * c.Length(n)
@@ -64,13 +111,26 @@ func (c *Cache) WeightedTotal() float64 {
 	return s
 }
 
-// Total returns the unweighted total Steiner wire length.
+// Total returns the unweighted total Steiner wire length. Like
+// WeightedTotal, tree construction fans out while the reduction stays
+// serial in ID order.
 func (c *Cache) Total() float64 {
+	if c.Workers > 1 {
+		c.PrepareAll(c.Workers)
+	}
 	var s float64
 	c.nl.Nets(func(n *netlist.Net) {
 		s += c.Length(n)
 	})
 	return s
+}
+
+// InvalidateAll drops every cached tree; the next aggregate query
+// rebuilds them (batched in parallel when Workers > 1).
+func (c *Cache) InvalidateAll() {
+	for i := range c.trees {
+		c.trees[i] = nil
+	}
 }
 
 // Invalidate drops the cached tree of net n.

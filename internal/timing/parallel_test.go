@@ -1,0 +1,100 @@
+package timing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tps/internal/cell"
+	"tps/internal/delay"
+	"tps/internal/gen"
+	"tps/internal/netlist"
+	"tps/internal/steiner"
+)
+
+// placedDesign generates and deterministically places a design, returning
+// the netlist and period.
+func placedDesign(numGates int, seed int64) (*netlist.Netlist, float64) {
+	d := gen.Generate(cell.Default(), gen.Params{NumGates: numGates, Levels: 8, Seed: seed})
+	nl := d.NL
+	i := 0
+	nl.Gates(func(g *netlist.Gate) {
+		if !g.Fixed {
+			nl.MoveGate(g, float64(i%20)*30, float64(i/20%20)*30)
+			i++
+		}
+	})
+	return nl, d.Period
+}
+
+// engineStack builds a full analyzer stack over nl with the given worker
+// count and returns the engine plus a closer.
+func engineStack(nl *netlist.Netlist, period float64, workers int, mode delay.Mode) (*Engine, func()) {
+	st := steiner.NewCache(nl)
+	st.Workers = workers
+	calc := delay.NewCalculator(nl, st, mode)
+	e := New(nl, calc, period)
+	e.Workers = workers
+	return e, func() { e.Close(); calc.Close(); st.Close() }
+}
+
+// TestParallelFlushMatchesSerial requires the level-barriered parallel
+// full flush to be bit-identical (==, not within-eps) to the serial pass
+// on every pin, in both gain-based and actual-delay modes.
+func TestParallelFlushMatchesSerial(t *testing.T) {
+	for _, mode := range []delay.Mode{delay.GainBased, delay.Actual} {
+		nl, period := placedDesign(600, 11)
+		serial, closeS := engineStack(nl, period, 1, mode)
+		par8, closeP := engineStack(nl, period, 8, mode)
+
+		wsS, wsP := serial.WorstSlack(), par8.WorstSlack()
+		if wsS != wsP {
+			t.Errorf("mode %v: worst slack serial %v != parallel %v", mode, wsS, wsP)
+		}
+		if tnsS, tnsP := serial.TNS(), par8.TNS(); tnsS != tnsP {
+			t.Errorf("mode %v: TNS serial %v != parallel %v", mode, tnsS, tnsP)
+		}
+		nl.Gates(func(g *netlist.Gate) {
+			for _, p := range g.Pins {
+				aS, aP := serial.Arrival(p), par8.Arrival(p)
+				if aS != aP && !(math.IsInf(aS, 0) && aS == aP) {
+					t.Fatalf("mode %v: pin %s arrival %v != %v", mode, p.Name(), aS, aP)
+				}
+				rS, rP := serial.Required(p), par8.Required(p)
+				if rS != rP && !(math.IsInf(rS, 1) && math.IsInf(rP, 1)) {
+					t.Fatalf("mode %v: pin %s required %v != %v", mode, p.Name(), rS, rP)
+				}
+			}
+		})
+		closeS()
+		closeP()
+	}
+}
+
+// TestParallelFlushAfterInvalidation exercises the flushAll hot path the
+// scenario engine hits (InvalidateAll on every bin refinement) with both
+// worker counts interleaved on the same design state.
+func TestParallelFlushAfterInvalidation(t *testing.T) {
+	nl, period := placedDesign(400, 5)
+	serial, closeS := engineStack(nl, period, 1, delay.Actual)
+	defer closeS()
+	par8, closeP := engineStack(nl, period, 8, delay.Actual)
+	defer closeP()
+
+	rng := rand.New(rand.NewSource(99))
+	var movable []*netlist.Gate
+	nl.Gates(func(g *netlist.Gate) {
+		if !g.Fixed {
+			movable = append(movable, g)
+		}
+	})
+	for round := 0; round < 5; round++ {
+		g := movable[rng.Intn(len(movable))]
+		nl.MoveGate(g, g.X+float64(rng.Intn(60)), g.Y+float64(rng.Intn(60)))
+		serial.InvalidateAll()
+		par8.InvalidateAll()
+		if wsS, wsP := serial.WorstSlack(), par8.WorstSlack(); wsS != wsP {
+			t.Fatalf("round %d: serial %v != parallel %v", round, wsS, wsP)
+		}
+	}
+}

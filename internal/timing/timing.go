@@ -21,6 +21,7 @@ import (
 	"tps/internal/cell"
 	"tps/internal/delay"
 	"tps/internal/netlist"
+	"tps/internal/par"
 )
 
 const eps = 1e-6
@@ -33,6 +34,14 @@ type Engine struct {
 	Period float64
 	// Setup is the register setup time in ps.
 	Setup float64
+
+	// Workers bounds the fan-out of the full-design flush. Levels are a
+	// natural barrier — every pin's inputs live at strictly lower levels
+	// (arrival) or strictly higher levels (required) — so each level's
+	// evaluations are independent and the parallel flush is bit-identical
+	// to the serial one. 0 or 1 keeps the flush fully serial. The engine's
+	// public API remains single-goroutine; parallelism is internal.
+	Workers int
 
 	arr, req []float64
 	level    []int32
@@ -276,6 +285,15 @@ func (e *Engine) countPreds(p *netlist.Pin) int32 {
 
 func (e *Engine) evalArr(p *netlist.Pin) float64 {
 	e.Recomputes++
+	return e.arrOf(p)
+}
+
+// arrOf computes the arrival time of p from its predecessors' committed
+// values. It is side-effect-free (no counter updates) so the parallel
+// flush can call it from worker goroutines; all state it reads — arr
+// values of strictly lower levels, flags, and the prepared delay caches —
+// is frozen during a fan-out.
+func (e *Engine) arrOf(p *netlist.Pin) float64 {
 	if e.flags[p.ID]&flagOnCycle != 0 {
 		return 0
 	}
@@ -288,6 +306,14 @@ func (e *Engine) evalArr(p *netlist.Pin) float64 {
 			return 0
 		}
 		return e.arr[d.ID] + e.Calc.PinArrivalDelay(p)
+	}
+	if p.Net != nil && !dataNet(p.Net) {
+		// Drivers of clock nets sit outside the data graph (ideal clock
+		// model): their "arrival" would be a load-dependent value nothing
+		// propagates or queries, and the observers rightly never touch
+		// clock nets — so pin it at 0 rather than letting a stale
+		// evaluation linger.
+		return 0
 	}
 	g := p.Gate
 	if g.IsPad() {
@@ -311,6 +337,12 @@ func (e *Engine) evalArr(p *netlist.Pin) float64 {
 
 func (e *Engine) evalReq(p *netlist.Pin) float64 {
 	e.Recomputes++
+	return e.reqOf(p)
+}
+
+// reqOf computes the required time of p from its successors' committed
+// values; the side-effect-free counterpart of arrOf (see there).
+func (e *Engine) reqOf(p *netlist.Pin) float64 {
 	if e.flags[p.ID]&flagOnCycle != 0 {
 		return math.Inf(1)
 	}
@@ -439,6 +471,8 @@ func (e *Engine) flushAll() {
 	e.pendReq = e.pendReq[:0]
 	for i := range e.inPendArr {
 		e.inPendArr[i] = false
+	}
+	for i := range e.inPendReq {
 		e.inPendReq[i] = false
 	}
 	// Evaluate every pin once in level order (forward for arrival,
@@ -448,6 +482,10 @@ func (e *Engine) flushAll() {
 		if p != nil {
 			ids = append(ids, id)
 		}
+	}
+	if e.Workers > 1 {
+		e.flushAllParallel(ids)
+		return
 	}
 	sortByLevel(ids, e.level, false)
 	for _, id := range ids {
@@ -459,12 +497,57 @@ func (e *Engine) flushAll() {
 	}
 }
 
+// flushAllParallel is the full flush with each level fanned out over the
+// worker pool. Correctness argument: levelization guarantees that every
+// predecessor read by arrOf sits at a strictly lower level than the pin
+// being evaluated (and every successor read by reqOf at a strictly higher
+// one); pins trapped on combinational cycles read nothing. Each level is
+// therefore a clean barrier, every pin is written exactly once at its own
+// slot, and the values are bit-identical to the serial pass for any worker
+// count. The delay caches are batch-prepared first so worker goroutines
+// only ever read them.
+func (e *Engine) flushAllParallel(ids []int) {
+	e.Calc.Prepare(e.Workers)
+	var maxL int32
+	for _, id := range ids {
+		if e.level[id] > maxL {
+			maxL = e.level[id]
+		}
+	}
+	buckets := make([][]int, maxL+1)
+	for _, id := range ids {
+		buckets[e.level[id]] = append(buckets[e.level[id]], id)
+	}
+	for l := 0; l <= int(maxL); l++ {
+		lv := buckets[l]
+		par.For(e.Workers, len(lv), func(_, lo, hi int) {
+			for _, id := range lv[lo:hi] {
+				e.arr[id] = e.arrOf(e.pinOf[id])
+			}
+		})
+	}
+	for l := int(maxL); l >= 0; l-- {
+		lv := buckets[l]
+		par.For(e.Workers, len(lv), func(_, lo, hi int) {
+			for _, id := range lv[lo:hi] {
+				e.req[id] = e.reqOf(e.pinOf[id])
+			}
+		})
+	}
+	e.Recomputes += 2 * len(ids) // same count the serial pass accumulates
+}
+
 func (e *Engine) flushArr() {
 	h := &pinHeap{level: e.level, sign: 1}
 	for _, id := range e.pendArr {
 		if id < len(e.pinOf) && e.pinOf[id] != nil {
 			e.inPendArr[id] = true // ids marked before arrays grew
 			h.ids = append(h.ids, id)
+		} else if id < len(e.inPendArr) {
+			// The pin was tombstoned after being marked: clear the stale
+			// flag instead of leaking a permanent true that would shadow
+			// the slot in any future scan.
+			e.inPendArr[id] = false
 		}
 	}
 	e.pendArr = e.pendArr[:0]
@@ -496,6 +579,8 @@ func (e *Engine) flushReq() {
 		if id < len(e.pinOf) && e.pinOf[id] != nil {
 			e.inPendReq[id] = true // ids marked before arrays grew
 			h.ids = append(h.ids, id)
+		} else if id < len(e.inPendReq) {
+			e.inPendReq[id] = false // tombstoned since marked (see flushArr)
 		}
 	}
 	e.pendReq = e.pendReq[:0]

@@ -107,6 +107,11 @@ func (d *Design) Save(w io.Writer) error { return netio.Write(w, d.gd) }
 // SetLog directs flow progress lines to w (nil silences them).
 func (d *Design) SetLog(w io.Writer) { d.ctx.Log = w }
 
+// SetWorkers sets the analyzer fan-out width (default GOMAXPROCS). The
+// evaluation layer is deterministic: metrics are bit-identical for every
+// worker count, and 1 restores fully serial analysis.
+func (d *Design) SetWorkers(n int) { d.ctx.SetWorkers(n) }
+
 // Netlist exposes the underlying netlist for custom transforms.
 func (d *Design) Netlist() *netlist.Netlist { return d.ctx.NL }
 
