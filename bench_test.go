@@ -266,6 +266,88 @@ func BenchmarkParallelAnalyzers(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalAnalyzers measures the delta-evaluation layer: the
+// cost of re-analyzing Steiner totals plus congestion after dirtying a
+// given fraction of the design, incrementally (incr: only dirty nets are
+// re-evaluated) vs from scratch (full: InvalidateAll before each pass).
+// CI publishes these rows as BENCH_analyzers.json; the acceptance bar is
+// incr ≥5× faster than full at ≤10% dirty. At 100% the analyzer's own
+// fallback kicks in, so incr≈full there by design.
+func BenchmarkIncrementalAnalyzers(b *testing.B) {
+	p := Table1Params(5, BenchScale)
+	for _, pct := range []int{1, 10, 100} {
+		for _, mode := range []string{"full", "incr"} {
+			b.Run(fmt.Sprintf("dirty=%d%%/%s", pct, mode), func(b *testing.B) {
+				d := NewDesign(p)
+				defer d.Close()
+				c := d.Context()
+				var movable []*netlist.Gate
+				j := 0
+				c.NL.Gates(func(g *netlist.Gate) {
+					if !g.Fixed {
+						movable = append(movable, g)
+						c.NL.MoveGate(g, float64(j%40)*20, float64(j/40%40)*20)
+						j++
+					}
+				})
+				for k := 0; k < 5; k++ {
+					c.Im.Subdivide()
+				}
+				// Calibrate the per-iteration move count so the *dirty net*
+				// fraction (what the analyzers bill by) matches pct: each
+				// moved gate dirties every net on its pins, so the gate
+				// fraction undershoots the net fraction.
+				_ = c.St.Total()
+				target := c.NL.NumNets() * pct / 100
+				k := 0
+				for k < len(movable) && c.St.DirtyNets() < target {
+					g := movable[k]
+					c.NL.MoveGate(g, g.X+1, g.Y)
+					k++
+				}
+				if k < 1 {
+					k = 1
+				}
+				jiggle := func(i int) {
+					for s := 0; s < k; s++ {
+						g := movable[(i*k+s)%len(movable)]
+						c.NL.MoveGate(g, g.X+float64(1-2*(i&1)), g.Y)
+					}
+				}
+				// Prime, then verify on this state that the incremental
+				// pass is bit-identical to a forced full recompute.
+				_ = c.St.Total()
+				_ = c.Cong.Analyze()
+				jiggle(0)
+				incT, incRep := c.St.Total(), c.Cong.Analyze()
+				c.St.InvalidateAll()
+				c.Cong.InvalidateAll()
+				if fullT, fullRep := c.St.Total(), c.Cong.Analyze(); incT != fullT || incRep != fullRep {
+					b.Fatalf("incremental diverged: %v/%+v vs %v/%+v", incT, incRep, fullT, fullRep)
+				}
+				var dirtyFrac float64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					jiggle(i + 1)
+					if mode == "full" {
+						c.St.InvalidateAll()
+						c.Cong.InvalidateAll()
+					} else {
+						dirtyFrac = float64(c.St.DirtyNets()) / float64(c.NL.NumNets())
+					}
+					_ = c.St.Total()
+					_ = c.Cong.Analyze()
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(k), "gates-moved")
+				if mode == "incr" {
+					b.ReportMetric(dirtyFrac*100, "dirty-nets-%")
+				}
+			})
+		}
+	}
+}
+
 // ---- component microbenchmarks ----
 
 func BenchmarkSteinerBuild(b *testing.B) {

@@ -6,12 +6,15 @@
 //	tpsflow -flow tps -gates 2000 -levels 12 -seed 1 [-v]
 //	tpsflow -flow spr -in design.tpn
 //	tpsflow -flow tps -gates 2000 -out placed.tpn
+//	tpsflow -flow tps -des 3 -scale 1.0 -workers 8 -cpuprofile cpu.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"tps"
 )
@@ -25,6 +28,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator / flow seed")
 	des := flag.Int("des", 0, "use Table 1 design Des<n> (1–5) instead of -gates")
 	scale := flag.Float64("scale", 0.1, "scale factor for -des designs")
+	workers := flag.Int("workers", 0, "analyzer fan-out width (0 = GOMAXPROCS; metrics are bit-identical at any width)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the flow to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (post-flow) to this file")
 	verbose := flag.Bool("v", false, "print flow progress")
 	flag.Parse()
 
@@ -53,10 +59,25 @@ func main() {
 	if *verbose {
 		d.SetLog(os.Stderr)
 	}
+	if *workers > 0 {
+		d.SetWorkers(*workers)
+	}
 
 	w, h := d.Chip()
 	fmt.Printf("design %s: %d gates, %d nets, die %.0f×%.0f µm, period %.0f ps\n",
 		d.Netlist().Name, d.Netlist().NumGates(), d.Netlist().NumNets(), w, h, d.Period())
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var m tps.Metrics
 	switch *flow {
@@ -75,6 +96,21 @@ func main() {
 	fmt.Printf("     congestion: Horiz %.0f/%.0f Vert %.0f/%.0f (pk/avg wires cut)\n",
 		m.HorizPeak, m.HorizAvg, m.VertPeak, m.VertAvg)
 	fmt.Printf("     cpu=%.1fs iterations=%d\n", m.CPUSeconds, m.Iterations)
+	st := d.Stats()
+	fmt.Printf("     analyzers: steiner rebuilds=%d, congestion passes full=%d incremental=%d, timing recomputes=%d\n",
+		st.SteinerRebuilds, st.CongestionFullPasses, st.CongestionIncrementalPasses, st.TimingRecomputes)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
 
 	if *out != "" {
 		f, err := os.Create(*out)

@@ -1,0 +1,179 @@
+package congestion
+
+import (
+	"testing"
+
+	"tps/internal/cell"
+	"tps/internal/gen"
+	"tps/internal/image"
+	"tps/internal/netlist"
+	"tps/internal/steiner"
+)
+
+// analyzerFixture builds a scattered mid-sized design with a refined bin
+// grid, an incremental Analyzer over it, and a function producing the
+// reference full-pass report on a fresh image of matching geometry.
+func analyzerFixture(t *testing.T, seed int64) (*netlist.Netlist, *image.Image, *Analyzer, func() (Report, *image.Image)) {
+	t.Helper()
+	d := gen.Generate(cell.Default(), gen.Params{
+		NumGates: 400, Levels: 8, RegFraction: 0.15, Seed: seed,
+	})
+	nl := d.NL
+	i := 0
+	nl.Gates(func(g *netlist.Gate) {
+		if !g.Fixed {
+			nl.MoveGate(g, float64((i*131)%int(d.ChipW)), float64((i*97)%int(d.ChipH)))
+			i++
+		}
+	})
+	im := image.New(d.ChipW, d.ChipH, nl.Lib.Tech.RowHeight, 0.72)
+	im.Subdivide()
+	im.Subdivide()
+	st := steiner.NewCache(nl)
+	t.Cleanup(st.Close)
+	a := NewAnalyzer(nl, st, im)
+	t.Cleanup(a.Close)
+
+	refFull := func() (Report, *image.Image) {
+		refIm := image.New(d.ChipW, d.ChipH, nl.Lib.Tech.RowHeight, 0.72)
+		for refIm.Level < im.Level {
+			refIm.Subdivide()
+		}
+		refSt := steiner.NewCache(nl)
+		defer refSt.Close()
+		return AnalyzeN(nl, refSt, refIm, 1), refIm
+	}
+	return nl, im, a, refFull
+}
+
+func sameGrids(t *testing.T, ctx string, got, ref *image.Image) {
+	t.Helper()
+	for j := 0; j < got.NY; j++ {
+		for i := 0; i < got.NX; i++ {
+			gb, rb := got.At(i, j), ref.At(i, j)
+			if gb.WireUsedH != rb.WireUsedH || gb.WireUsedV != rb.WireUsedV {
+				t.Fatalf("%s: bin (%d,%d) H %v/%v V %v/%v diverged",
+					ctx, i, j, gb.WireUsedH, rb.WireUsedH, gb.WireUsedV, rb.WireUsedV)
+			}
+		}
+	}
+}
+
+// TestAnalyzerIncrementalMatchesFull moves a handful of gates between
+// analyses and requires the withdraw/re-deposit pass to reproduce the full
+// rasterization bit for bit — report and every bin — while actually taking
+// the incremental path.
+func TestAnalyzerIncrementalMatchesFull(t *testing.T) {
+	nl, im, a, refFull := analyzerFixture(t, 3)
+	a.Workers = 4
+
+	first := a.Analyze()
+	if a.FullPasses != 1 || a.IncrementalPasses != 0 {
+		t.Fatalf("first pass should be full: full=%d incr=%d", a.FullPasses, a.IncrementalPasses)
+	}
+	refRep, refIm := refFull()
+	if first != refRep {
+		t.Fatalf("priming report %+v != reference %+v", first, refRep)
+	}
+	sameGrids(t, "primed", im, refIm)
+
+	var moved []*netlist.Gate
+	nl.Gates(func(g *netlist.Gate) {
+		if !g.Fixed && len(moved) < 5 {
+			moved = append(moved, g)
+		}
+	})
+	for round := 0; round < 4; round++ {
+		for k, g := range moved {
+			nl.MoveGate(g, float64((round*211+k*67)%1000), float64((round*173+k*41)%1000))
+		}
+		if a.DirtyNets() == 0 {
+			t.Fatalf("round %d: moves marked no nets dirty", round)
+		}
+		got := a.Analyze()
+		refRep, refIm := refFull()
+		if got != refRep {
+			t.Fatalf("round %d: incremental report %+v != full %+v", round, got, refRep)
+		}
+		sameGrids(t, "round", im, refIm)
+	}
+	if a.IncrementalPasses == 0 {
+		t.Errorf("expected incremental passes, got full=%d incr=%d", a.FullPasses, a.IncrementalPasses)
+	}
+}
+
+// TestAnalyzerFallsBackToFull checks the three full-pass triggers: grid
+// refinement (geometry change), InvalidateAll, and a dirty fraction above
+// FullThreshold — and that the fallback results still match the reference.
+func TestAnalyzerFallsBackToFull(t *testing.T) {
+	nl, im, a, refFull := analyzerFixture(t, 4)
+	a.Analyze()
+
+	im.Subdivide()
+	fullBefore := a.FullPasses
+	got := a.Analyze()
+	if a.FullPasses != fullBefore+1 {
+		t.Errorf("Subdivide did not force a full pass (full=%d)", a.FullPasses)
+	}
+	refRep, refIm := refFull()
+	if got != refRep {
+		t.Fatalf("post-subdivide report %+v != reference %+v", got, refRep)
+	}
+	sameGrids(t, "subdivide", im, refIm)
+
+	a.InvalidateAll()
+	fullBefore = a.FullPasses
+	if got, want := a.Analyze(), refRep; got != want {
+		t.Fatalf("post-InvalidateAll report %+v != %+v", got, want)
+	}
+	if a.FullPasses != fullBefore+1 {
+		t.Errorf("InvalidateAll did not force a full pass")
+	}
+
+	// Dirty the majority of nets: fraction above FullThreshold ⇒ full.
+	nl.Gates(func(g *netlist.Gate) {
+		if !g.Fixed {
+			nl.MoveGate(g, g.X+1, g.Y)
+		}
+	})
+	fullBefore = a.FullPasses
+	got = a.Analyze()
+	if a.FullPasses != fullBefore+1 {
+		t.Errorf("large dirty fraction did not force a full pass")
+	}
+	refRep, refIm = refFull()
+	if got != refRep {
+		t.Fatalf("post-bulk-move report %+v != reference %+v", got, refRep)
+	}
+	sameGrids(t, "bulk", im, refIm)
+}
+
+// TestAnalyzerScratchReuse verifies the analyzer reuses its grids and
+// deposit records across passes rather than reallocating: a second
+// incremental pass over the same dirty set must not grow the deposit
+// backing arrays.
+func TestAnalyzerScratchReuse(t *testing.T) {
+	nl, _, a, _ := analyzerFixture(t, 5)
+	a.Analyze()
+	var g0 *netlist.Gate
+	nl.Gates(func(g *netlist.Gate) {
+		if g0 == nil && !g.Fixed {
+			g0 = g
+		}
+	})
+	nl.MoveGate(g0, g0.X+3, g0.Y)
+	a.Analyze()
+	caps := make(map[int]int)
+	for id, dep := range a.deposits {
+		caps[id] = cap(dep)
+	}
+	for round := 0; round < 3; round++ {
+		nl.MoveGate(g0, g0.X+1, g0.Y)
+		a.Analyze()
+	}
+	for id, dep := range a.deposits {
+		if c0, ok := caps[id]; ok && cap(dep) > c0 {
+			t.Errorf("net %d deposit buffer grew %d → %d across same-shape passes", id, c0, cap(dep))
+		}
+	}
+}

@@ -12,6 +12,11 @@
 // increments (exact in float64) and per-net lengths land in ID-indexed
 // slots summed serially, so the report is bit-identical for any worker
 // count.
+//
+// The stateful Analyzer in analyzer.go adds the incremental regime: it
+// remembers every net's deposited footprint and, on re-analysis, withdraws
+// and re-deposits only the nets that changed — with a report bit-identical
+// to the full pass in both regimes.
 package congestion
 
 import (
@@ -62,13 +67,7 @@ func AnalyzeN(nl *netlist.Netlist, st *steiner.Cache, im *image.Image, workers i
 		v := make([]float64, cells)
 		shardH[chunk], shardV[chunk] = h, v
 		for k := lo; k < hi; k++ {
-			t := st.Tree(nets[k])
-			var sum float64
-			for _, e := range t.Edges {
-				p, q := t.Nodes[e.U], t.Nodes[e.V]
-				sum += rasterizeL(im, h, v, p, q)
-			}
-			perNet[k] = sum
+			perNet[k] = rasterizeNet(im, h, v, st.Tree(nets[k]), nil)
 		}
 	})
 
@@ -89,10 +88,16 @@ func AnalyzeN(nl *netlist.Netlist, st *steiner.Cache, im *image.Image, workers i
 		}
 	}
 
-	var r Report
+	var total float64
 	for _, L := range perNet {
-		r.TotalWireUm += L
+		total += L
 	}
+	return summarize(im, total)
+}
+
+// summarize computes the cut-line summary from the image's WireUsed state.
+func summarize(im *image.Image, totalWireUm float64) Report {
+	r := Report{TotalWireUm: totalWireUm}
 	// Horizontal wires cross vertical boundaries: right-edge usage of
 	// column i is the crossing count of the line between columns i, i+1.
 	if im.NX > 1 {
@@ -132,21 +137,34 @@ func AnalyzeN(nl *netlist.Netlist, st *steiner.Cache, im *image.Image, workers i
 	return r
 }
 
+// rasterizeNet deposits every edge of tree t into the h/v crossing grids
+// and returns the rasterized length. When rec is non-nil, each deposit is
+// also appended to *rec as an encoded cell index (h: idx, v: idx+cells) so
+// the incremental analyzer can later withdraw the footprint exactly.
+func rasterizeNet(im *image.Image, h, v []float64, t *steiner.Tree, rec *[]int32) float64 {
+	var sum float64
+	for _, e := range t.Edges {
+		p, q := t.Nodes[e.U], t.Nodes[e.V]
+		sum += rasterizeL(im, h, v, p, q, rec)
+	}
+	return sum
+}
+
 // rasterizeL deposits the canonical L-shape (horizontal at p.Y, then
 // vertical at q.X) of edge p→q into the h/v crossing grids and returns its
 // length.
-func rasterizeL(im *image.Image, h, v []float64, p, q steiner.Point) float64 {
+func rasterizeL(im *image.Image, h, v []float64, p, q steiner.Point, rec *[]int32) float64 {
 	length := math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
 	// Horizontal run at y = p.Y from p.X to q.X.
-	depositH(im, h, p.Y, p.X, q.X)
+	depositH(im, h, p.Y, p.X, q.X, rec)
 	// Vertical run at x = q.X from p.Y to q.Y.
-	depositV(im, v, q.X, p.Y, q.Y)
+	depositV(im, v, q.X, p.Y, q.Y, rec)
 	return length
 }
 
 // depositH adds one horizontal wire crossing for every vertical bin
 // boundary strictly inside (xa, xb) at height y.
-func depositH(im *image.Image, grid []float64, y, xa, xb float64) {
+func depositH(im *image.Image, grid []float64, y, xa, xb float64, rec *[]int32) {
 	if xa > xb {
 		xa, xb = xb, xa
 	}
@@ -163,13 +181,17 @@ func depositH(im *image.Image, grid []float64, y, xa, xb float64) {
 		if bnd := float64(i) * bw; bnd <= xa+1e-9 || bnd >= xb-1e-9 {
 			continue
 		}
-		grid[j*im.NX+c]++
+		idx := j*im.NX + c
+		grid[idx]++
+		if rec != nil {
+			*rec = append(*rec, int32(idx))
+		}
 	}
 }
 
 // depositV adds one vertical wire crossing for every horizontal bin
 // boundary strictly inside (ya, yb) at x.
-func depositV(im *image.Image, grid []float64, x, ya, yb float64) {
+func depositV(im *image.Image, grid []float64, x, ya, yb float64, rec *[]int32) {
 	if ya > yb {
 		ya, yb = yb, ya
 	}
@@ -177,6 +199,7 @@ func depositV(im *image.Image, grid []float64, x, ya, yb float64) {
 	i, _ := im.Loc(x, (ya+yb)/2)
 	jStart := int(math.Ceil(ya/bh - 1e-9))
 	jEnd := int(math.Floor(yb/bh + 1e-9))
+	cells := int32(im.NX * im.NY)
 	for j := jStart; j <= jEnd; j++ {
 		c := j - 1
 		if c < 0 || c >= im.NY-1 {
@@ -185,6 +208,10 @@ func depositV(im *image.Image, grid []float64, x, ya, yb float64) {
 		if bnd := float64(j) * bh; bnd <= ya+1e-9 || bnd >= yb-1e-9 {
 			continue
 		}
-		grid[c*im.NX+i]++
+		idx := c*im.NX + i
+		grid[idx]++
+		if rec != nil {
+			*rec = append(*rec, int32(idx)+cells)
+		}
 	}
 }

@@ -43,6 +43,11 @@ type Context struct {
 	St   *steiner.Cache
 	Calc *delay.Calculator
 	Eng  *timing.Engine
+	// Cong is the stateful congestion analyzer: it keeps every net's
+	// rasterized footprint and re-deposits only the dirty nets on each
+	// Analyze, so the scenario loop can re-measure congestion at every
+	// status for O(dirty) instead of constructing fresh full passes.
+	Cong *congestion.Analyzer
 
 	// Workers is the analyzer fan-out width. The evaluation layer is
 	// engineered so results are bit-identical for every value; 1 restores
@@ -64,13 +69,15 @@ func NewContext(d *gen.Design, seed int64) *Context {
 	c := &Context{
 		NL: d.NL, Period: d.Period, ChipW: d.ChipW, ChipH: d.ChipH,
 		Seed: seed, Im: im, St: st, Calc: calc, Eng: eng,
+		Cong: congestion.NewAnalyzer(d.NL, st, im),
 	}
 	c.SetWorkers(par.Workers())
 	return c
 }
 
 // SetWorkers sets the analyzer fan-out width and propagates it to the
-// Steiner cache and the timing engine. n < 1 is clamped to 1 (serial).
+// Steiner cache, the congestion analyzer, and the timing engine. n < 1 is
+// clamped to 1 (serial).
 func (c *Context) SetWorkers(n int) {
 	if n < 1 {
 		n = 1
@@ -78,13 +85,46 @@ func (c *Context) SetWorkers(n int) {
 	c.Workers = n
 	c.St.Workers = n
 	c.Eng.Workers = n
+	c.Cong.Workers = n
 }
 
 // Close detaches the analyzers from the netlist.
 func (c *Context) Close() {
 	c.Eng.Close()
 	c.Calc.Close()
+	c.Cong.Close()
 	c.St.Close()
+}
+
+// AnalyzerStats exposes the incremental engines' dirty-set counters: how
+// much stale work each analyzer is currently carrying and how often the
+// congestion engine could stay on the cheap withdraw/re-deposit path.
+type AnalyzerStats struct {
+	// SteinerDirty / CongestionDirty are the current dirty-set sizes — the
+	// cost, in nets, of the next aggregate query.
+	SteinerDirty     int
+	CongestionDirty  int
+	// SteinerRebuilds counts Steiner tree constructions since the cache
+	// was created.
+	SteinerRebuilds int
+	// CongestionFullPasses / CongestionIncrementalPasses count the regime
+	// each congestion analysis ran in.
+	CongestionFullPasses        int
+	CongestionIncrementalPasses int
+	// TimingRecomputes counts incremental timing node recomputations.
+	TimingRecomputes int
+}
+
+// AnalyzerStats returns the current incremental-analyzer counters.
+func (c *Context) AnalyzerStats() AnalyzerStats {
+	return AnalyzerStats{
+		SteinerDirty:                c.St.DirtyNets(),
+		CongestionDirty:             c.Cong.DirtyNets(),
+		SteinerRebuilds:             c.St.Rebuilds,
+		CongestionFullPasses:        c.Cong.FullPasses,
+		CongestionIncrementalPasses: c.Cong.IncrementalPasses,
+		TimingRecomputes:            c.Eng.Recomputes,
+	}
 }
 
 func (c *Context) logf(format string, args ...interface{}) {
@@ -135,7 +175,7 @@ func (c *Context) Evaluate(flow string) Metrics {
 	m.WorstSlack = c.Eng.WorstSlack()
 	m.TNS = c.Eng.TNS()
 	m.CycleAchieved = c.Period - m.WorstSlack
-	rep := congestion.AnalyzeN(c.NL, c.St, c.Im, c.Workers)
+	rep := c.Cong.Analyze()
 	m.HorizPeak, m.HorizAvg = rep.HorizPeak, rep.HorizAvg
 	m.VertPeak, m.VertAvg = rep.VertPeak, rep.VertAvg
 	m.SteinerWireUm = c.St.Total()
@@ -296,6 +336,15 @@ func RunTPS(c *Context, opt TPSOptions) Metrics {
 		}
 		rel.RelieveAll(0.25)
 		placer.SyncImage()
+
+		// Keep the congestion picture current at every status through the
+		// stateful analyzer: only the nets dirtied since the previous
+		// status re-rasterize (with an automatic full pass after the bin
+		// grid refines), instead of constructing a fresh analysis.
+		dirtyNets := c.Cong.DirtyNets()
+		crep := c.Cong.Analyze()
+		c.logf("status %3d: congestion Horiz %.0f/%.0f Vert %.0f/%.0f (%d dirty nets)",
+			status, crep.HorizPeak, crep.HorizAvg, crep.VertPeak, crep.VertAvg, dirtyNets)
 	}
 
 	// Final stages of Fig. 5: detailed placement, routing, in-footprint

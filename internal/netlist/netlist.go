@@ -426,6 +426,9 @@ func (nl *Netlist) MovePin(p *Pin, n *Net) {
 }
 
 // RemoveNet tombstones an empty net. It panics if pins remain attached.
+// Observers hear the removal as a NetChanged on the tombstoned net, so
+// incremental analyzers can retire its cached contribution even when the
+// net was removed without ever being connected.
 func (nl *Netlist) RemoveNet(n *Net) {
 	if len(n.pins) != 0 {
 		panic("netlist: RemoveNet on non-empty net " + n.Name)
@@ -436,6 +439,7 @@ func (nl *Netlist) RemoveNet(n *Net) {
 	n.Removed = true
 	nl.numNets--
 	nl.Edits++
+	nl.notifyNet(n)
 }
 
 // RemoveGate disconnects all pins and tombstones the gate.

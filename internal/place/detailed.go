@@ -134,6 +134,12 @@ type DetailedOptions struct {
 	MaxPermute int
 	// Passes over the whole chip.
 	Passes int
+	// fullRescore disables the per-net contribution cache and recomputes
+	// every affected net from scratch on both sides of each candidate
+	// move. It is the reference evaluator the equivalence tests compare
+	// the delta scorer against; decisions are identical by construction
+	// whenever the cache is correct.
+	fullRescore bool
 }
 
 // DefaultDetailedOptions mirrors the paper's description.
@@ -193,56 +199,248 @@ func DetailedPlace(nl *netlist.Netlist, st *steiner.Cache, chipW, chipH float64,
 	return accepted
 }
 
+// windowScorer delta-evaluates candidate moves inside one window. It
+// caches each window net's contribution (weight · HPWL) and, per
+// candidate, re-evaluates only the nets touching the gates that actually
+// moved — eliminating the O(windowNets·pins) scan per candidate that full
+// rescoring pays. Cached contributions are maintained bit-identical to a
+// fresh recomputation: every accepted or position-perturbing move commits
+// freshly computed values, and sums always run over the affected nets in
+// ascending net ID order, so delta and full-rescore evaluation take
+// exactly the same accept/reject decisions.
+type windowScorer struct {
+	nets     []*netlist.Net  // window nets in ascending ID order
+	contrib  []float64       // cached weight·HPWL, parallel to nets
+	gateNets map[int][]int32 // gate ID → indices into nets
+	mark     []int           // epoch stamps for affected-set dedup
+	epoch    int
+	aff      []int32 // scratch: affected net indices, ascending
+	newVals  []float64
+	posBuf   []float64 // scratch: span gate positions before a trial
+	pts      []steiner.Point
+	fresh    bool // reference mode: ignore the cache on the before side
+}
+
+func newWindowScorer(win []*netlist.Gate, fullRescore bool) *windowScorer {
+	s := &windowScorer{
+		gateNets: make(map[int][]int32, len(win)),
+		fresh:    fullRescore,
+	}
+	seen := map[int]int32{} // net ID → index into s.nets
+	for _, g := range win {
+		var idxs []int32
+		for _, p := range g.Pins {
+			n := p.Net
+			if n == nil {
+				continue
+			}
+			idx, ok := seen[n.ID]
+			if !ok {
+				idx = int32(len(s.nets))
+				seen[n.ID] = idx
+				s.nets = append(s.nets, n)
+			}
+			dup := false
+			for _, x := range idxs {
+				if x == idx {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				idxs = append(idxs, idx)
+			}
+		}
+		s.gateNets[g.ID] = idxs
+	}
+	// Ascending net ID order fixes the summation order; remap per-gate
+	// index lists to the sorted positions.
+	order := make([]int32, len(s.nets))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return s.nets[order[a]].ID < s.nets[order[b]].ID })
+	inv := make([]int32, len(s.nets))
+	sorted := make([]*netlist.Net, len(s.nets))
+	for newIdx, oldIdx := range order {
+		inv[oldIdx] = int32(newIdx)
+		sorted[newIdx] = s.nets[oldIdx]
+	}
+	s.nets = sorted
+	for gid, idxs := range s.gateNets {
+		for k, x := range idxs {
+			idxs[k] = inv[x]
+		}
+		s.gateNets[gid] = idxs
+	}
+	s.contrib = make([]float64, len(s.nets))
+	s.newVals = make([]float64, len(s.nets))
+	s.mark = make([]int, len(s.nets))
+	for i := range s.nets {
+		s.contrib[i] = s.netScore(i)
+	}
+	return s
+}
+
+// netScore freshly computes weight · HPWL of window net idx.
+func (s *windowScorer) netScore(idx int) float64 {
+	n := s.nets[idx]
+	s.pts = s.pts[:0]
+	for _, p := range n.Pins() {
+		s.pts = append(s.pts, steiner.Point{X: p.X(), Y: p.Y()})
+	}
+	return n.Weight * steiner.HPWL(s.pts)
+}
+
+// affected returns the indices (ascending, deduplicated) of the window
+// nets touching any of the given gates. The returned slice is scratch,
+// valid until the next call.
+func (s *windowScorer) affected(gates []*netlist.Gate) []int32 {
+	s.epoch++
+	s.aff = s.aff[:0]
+	for _, g := range gates {
+		for _, idx := range s.gateNets[g.ID] {
+			if s.mark[idx] != s.epoch {
+				s.mark[idx] = s.epoch
+				s.aff = append(s.aff, idx)
+			}
+		}
+	}
+	sort.Slice(s.aff, func(a, b int) bool { return s.aff[a] < s.aff[b] })
+	return s.aff
+}
+
+// sumBefore totals the affected nets' contributions in index order, from
+// the cache (or from scratch in reference mode).
+func (s *windowScorer) sumBefore(aff []int32) float64 {
+	var sum float64
+	for _, idx := range aff {
+		if s.fresh {
+			sum += s.netScore(int(idx))
+		} else {
+			sum += s.contrib[idx]
+		}
+	}
+	return sum
+}
+
+// sumAfter freshly evaluates the affected nets in index order, staging the
+// values for a later commit.
+func (s *windowScorer) sumAfter(aff []int32) float64 {
+	var sum float64
+	for _, idx := range aff {
+		v := s.netScore(int(idx))
+		s.newVals[idx] = v
+		sum += v
+	}
+	return sum
+}
+
+// commit installs the staged values from the last sumAfter call.
+func (s *windowScorer) commit(aff []int32) {
+	for _, idx := range aff {
+		s.contrib[idx] = s.newVals[idx]
+	}
+}
+
+// refresh recomputes the affected nets' cached contributions in place
+// (used after a reverted trial that nonetheless re-packed positions).
+func (s *windowScorer) refresh(aff []int32) {
+	for _, idx := range aff {
+		s.contrib[idx] = s.netScore(int(idx))
+	}
+}
+
+// savePos snapshots the x-positions of a gate span.
+func (s *windowScorer) savePos(gates []*netlist.Gate) {
+	s.posBuf = s.posBuf[:0]
+	for _, g := range gates {
+		s.posBuf = append(s.posBuf, g.X)
+	}
+}
+
+// posChanged reports whether any gate of the span moved since savePos.
+// Reverted swaps re-pack the span abutted from its left edge, which
+// usually restores the exact positions — but squeezes out any gaps the
+// span had, in which case the cache must be refreshed.
+func (s *windowScorer) posChanged(gates []*netlist.Gate) bool {
+	for i, g := range gates {
+		if g.X != s.posBuf[i] {
+			return true
+		}
+	}
+	return false
+}
+
 // optimizeWindow tries pair swaps and small permutations within one
 // window. Gates within a window sit on the same row; swapping exchanges
 // their x-position slots (widths differ, so positions are re-packed from
-// the leftmost edge, which keeps the row legal).
+// the leftmost edge, which keeps the row legal). The default objective is
+// the weighted HPWL of the affected nets — for single-row swap decisions
+// HPWL ranks moves the same as the Steiner length at a fraction of the
+// cost — evaluated through the delta scorer above.
 func optimizeWindow(nl *netlist.Netlist, st *steiner.Cache, win []*netlist.Gate, opt DetailedOptions, score func() float64) int {
 	if len(win) < 2 {
 		return 0
 	}
-	// Collect the nets touching the window once; the default score is
-	// their weighted HPWL — for single-row swap decisions HPWL ranks
-	// moves the same as the Steiner length at a fraction of the cost.
-	var nets []*netlist.Net
-	{
-		seen := map[int]bool{}
-		for _, g := range win {
-			for _, p := range g.Pins {
-				if n := p.Net; n != nil && !seen[n.ID] {
-					seen[n.ID] = true
-					nets = append(nets, n)
-				}
-			}
-		}
-	}
-	var pts []steiner.Point
-	localScore := func() float64 {
-		if score != nil {
-			return score()
-		}
-		var s float64
-		for _, n := range nets {
-			pts = pts[:0]
-			for _, p := range n.Pins() {
-				pts = append(pts, steiner.Point{X: p.X(), Y: p.Y()})
-			}
-			s += n.Weight * steiner.HPWL(pts)
-		}
-		return s
-	}
 	_ = st
+	if score != nil {
+		return optimizeWindowHook(nl, win, opt, score)
+	}
+	sc := newWindowScorer(win, opt.fullRescore)
 
 	accepted := 0
 	improved := true
 	for iter := 0; improved && iter < 3; iter++ {
 		improved = false
-		// All pair swaps.
+		// All pair swaps. A candidate only perturbs win[i:j+1] (the swap
+		// plus the re-pack of the span between), so only nets touching
+		// those gates are re-evaluated.
 		for i := 0; i < len(win); i++ {
 			for j := i + 1; j < len(win); j++ {
-				before := localScore()
+				span := win[i : j+1]
+				aff := sc.affected(span)
+				before := sc.sumBefore(aff)
+				sc.savePos(span)
 				swapSlots(nl, win, i, j)
-				if after := localScore(); after < before-1e-9 {
+				if after := sc.sumAfter(aff); after < before-1e-9 {
+					sc.commit(aff)
+					accepted++
+					improved = true
+				} else {
+					swapSlots(nl, win, i, j) // revert
+					if sc.posChanged(span) {
+						sc.refresh(aff)
+					}
+				}
+			}
+		}
+		// Permutations of adjacent sub-groups of size MaxPermute.
+		if k := opt.MaxPermute; k >= 2 && len(win) >= k {
+			for i := 0; i+k <= len(win); i++ {
+				if tryPermuteDelta(nl, win, i, k, sc) {
+					accepted++
+					improved = true
+				}
+			}
+		}
+	}
+	return accepted
+}
+
+// optimizeWindowHook is the generic-objective path: when the caller
+// supplies a score hook (timing/area terms), every candidate re-invokes it
+// — the hook owns whatever incrementality it can offer.
+func optimizeWindowHook(nl *netlist.Netlist, win []*netlist.Gate, opt DetailedOptions, score func() float64) int {
+	accepted := 0
+	improved := true
+	for iter := 0; improved && iter < 3; iter++ {
+		improved = false
+		for i := 0; i < len(win); i++ {
+			for j := i + 1; j < len(win); j++ {
+				before := score()
+				swapSlots(nl, win, i, j)
+				if after := score(); after < before-1e-9 {
 					accepted++
 					improved = true
 				} else {
@@ -250,10 +448,9 @@ func optimizeWindow(nl *netlist.Netlist, st *steiner.Cache, win []*netlist.Gate,
 				}
 			}
 		}
-		// Permutations of adjacent sub-groups of size MaxPermute.
 		if k := opt.MaxPermute; k >= 2 && len(win) >= k {
 			for i := 0; i+k <= len(win); i++ {
-				if tryPermute(nl, win, i, k, localScore) {
+				if tryPermute(nl, win, i, k, score) {
 					accepted++
 					improved = true
 				}
@@ -281,6 +478,52 @@ func repack(nl *netlist.Netlist, gs []*netlist.Gate, x float64) {
 		nl.MoveGate(g, x+w/2, g.Y)
 		x += w
 	}
+}
+
+// tryPermuteDelta exhaustively reorders win[i:i+k] and keeps the best
+// order, scoring every candidate over only the nets touching the span.
+func tryPermuteDelta(nl *netlist.Netlist, win []*netlist.Gate, i, k int, sc *windowScorer) bool {
+	span := win[i : i+k]
+	aff := sc.affected(span)
+	orig := sc.sumBefore(aff)
+	lo := win[i].X - win[i].Width()/2
+	group := make([]*netlist.Gate, k)
+	copy(group, span)
+	best := append([]*netlist.Gate(nil), group...)
+	bestScore := orig
+	perm := make([]int, k)
+	for p := range perm {
+		perm[p] = p
+	}
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == k {
+			for p, gi := range perm {
+				win[i+p] = group[gi]
+			}
+			repack(nl, win[i:i+k], lo)
+			if s := sc.sumAfter(aff); s < bestScore-1e-9 {
+				bestScore = s
+				for p := range best {
+					best[p] = win[i+p]
+				}
+			}
+			return
+		}
+		for p := depth; p < k; p++ {
+			perm[depth], perm[p] = perm[p], perm[depth]
+			rec(depth + 1)
+			perm[depth], perm[p] = perm[p], perm[depth]
+		}
+	}
+	rec(0)
+	copy(win[i:i+k], best)
+	repack(nl, win[i:i+k], lo)
+	// Final positions can differ from the starting ones even when the
+	// original order wins (the re-pack squeezes out gaps), so the cache is
+	// refreshed unconditionally.
+	sc.refresh(aff)
+	return bestScore < orig-1e-9
 }
 
 // tryPermute exhaustively reorders win[i:i+k] and keeps the best order.

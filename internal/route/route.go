@@ -9,7 +9,6 @@
 package route
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 
@@ -44,13 +43,19 @@ func (r *Result) LengthOf(n *netlist.Net) float64 {
 	return r.lengths[n.ID]
 }
 
-// demand tracks directed edge usage on the routing grid.
+// demand tracks directed edge usage on the routing grid, plus the Dijkstra
+// scratch arrays reused across the (strictly sequential) per-connection
+// searches so the router allocates nothing in its inner loop.
 type demand struct {
 	nx, ny int
 	h      []float64 // usage across vertical boundary right of (i,j): (nx-1)*ny
 	v      []float64 // usage across horizontal boundary above (i,j): nx*(ny-1)
 	capH   []float64
 	capV   []float64
+
+	dist []float64
+	prev []int32
+	heap pq
 }
 
 func newDemand(im *image.Image) *demand {
@@ -69,6 +74,8 @@ func newDemand(im *image.Image) *demand {
 			d.capV[j*d.nx+i] = im.At(i, j).WireCapV
 		}
 	}
+	d.dist = make([]float64, d.nx*d.ny)
+	d.prev = make([]int32, d.nx*d.ny)
 	return d
 }
 
@@ -194,20 +201,55 @@ func RouteAllN(nl *netlist.Netlist, st *steiner.Cache, im *image.Image, workers 
 // pqItem is a Dijkstra frontier entry.
 type pqItem struct {
 	cost float64
-	node int
+	node int32
 }
 
-type pq []pqItem
+// pq is a hand-rolled binary min-heap over pqItem. The container/heap
+// interface boxes every Push/Pop through interface{}, allocating on each
+// edge relaxation in the router's innermost loop; a typed slice heap keeps
+// the frontier allocation-free (the backing array is reused across
+// searches). Tie-breaking follows strict cost comparison exactly like the
+// old heap.Less, and the search is single-threaded, so results stay
+// deterministic.
+type pq struct {
+	a []pqItem
+}
 
-func (p pq) Len() int            { return len(p) }
-func (p pq) Less(i, j int) bool  { return p[i].cost < p[j].cost }
-func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() interface{} {
-	n := len(*p) - 1
-	v := (*p)[n]
-	*p = (*p)[:n]
-	return v
+func (p *pq) push(x pqItem) {
+	p.a = append(p.a, x)
+	i := len(p.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if p.a[parent].cost <= p.a[i].cost {
+			break
+		}
+		p.a[parent], p.a[i] = p.a[i], p.a[parent]
+		i = parent
+	}
+}
+
+func (p *pq) pop() pqItem {
+	top := p.a[0]
+	n := len(p.a) - 1
+	p.a[0] = p.a[n]
+	p.a = p.a[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && p.a[r].cost < p.a[l].cost {
+			m = r
+		}
+		if p.a[i].cost <= p.a[m].cost {
+			break
+		}
+		p.a[i], p.a[m] = p.a[m], p.a[i]
+		i = m
+	}
+	return top
 }
 
 // dijkstra routes one two-pin connection, commits its demand, and returns
@@ -216,9 +258,7 @@ func (d *demand) dijkstra(si, sj, ti, tj int) (hSteps, vSteps int) {
 	if si == ti && sj == tj {
 		return 0, 0
 	}
-	n := d.nx * d.ny
-	dist := make([]float64, n)
-	prev := make([]int32, n)
+	dist, prev := d.dist, d.prev
 	for i := range dist {
 		dist[i] = math.Inf(1)
 		prev[i] = -1
@@ -226,28 +266,30 @@ func (d *demand) dijkstra(si, sj, ti, tj int) (hSteps, vSteps int) {
 	start := sj*d.nx + si
 	goal := tj*d.nx + ti
 	dist[start] = 0
-	h := &pq{{0, start}}
-	for h.Len() > 0 {
-		it := heap.Pop(h).(pqItem)
-		if it.node == goal {
+	d.heap.a = d.heap.a[:0]
+	d.heap.push(pqItem{0, int32(start)})
+	for len(d.heap.a) > 0 {
+		it := d.heap.pop()
+		node := int(it.node)
+		if node == goal {
 			break
 		}
-		if it.cost > dist[it.node] {
+		if it.cost > dist[node] {
 			continue
 		}
-		ci, cj := it.node%d.nx, it.node/d.nx
+		ci, cj := node%d.nx, node/d.nx
 		// Four neighbors with their edge indices.
 		if ci+1 < d.nx {
-			d.relax(h, dist, prev, it.node, it.node+1, edgeCost(d.h[cj*(d.nx-1)+ci], d.capH[cj*(d.nx-1)+ci]))
+			d.relax(node, node+1, edgeCost(d.h[cj*(d.nx-1)+ci], d.capH[cj*(d.nx-1)+ci]))
 		}
 		if ci-1 >= 0 {
-			d.relax(h, dist, prev, it.node, it.node-1, edgeCost(d.h[cj*(d.nx-1)+ci-1], d.capH[cj*(d.nx-1)+ci-1]))
+			d.relax(node, node-1, edgeCost(d.h[cj*(d.nx-1)+ci-1], d.capH[cj*(d.nx-1)+ci-1]))
 		}
 		if cj+1 < d.ny {
-			d.relax(h, dist, prev, it.node, it.node+d.nx, edgeCost(d.v[cj*d.nx+ci], d.capV[cj*d.nx+ci]))
+			d.relax(node, node+d.nx, edgeCost(d.v[cj*d.nx+ci], d.capV[cj*d.nx+ci]))
 		}
 		if cj-1 >= 0 {
-			d.relax(h, dist, prev, it.node, it.node-d.nx, edgeCost(d.v[(cj-1)*d.nx+ci], d.capV[(cj-1)*d.nx+ci]))
+			d.relax(node, node-d.nx, edgeCost(d.v[(cj-1)*d.nx+ci], d.capV[(cj-1)*d.nx+ci]))
 		}
 	}
 	// Walk back, committing demand.
@@ -267,11 +309,11 @@ func (d *demand) dijkstra(si, sj, ti, tj int) (hSteps, vSteps int) {
 	return hSteps, vSteps
 }
 
-func (d *demand) relax(h *pq, dist []float64, prev []int32, from, to int, w float64) {
-	if nd := dist[from] + w; nd < dist[to] {
-		dist[to] = nd
-		prev[to] = int32(from)
-		heap.Push(h, pqItem{nd, to})
+func (d *demand) relax(from, to int, w float64) {
+	if nd := d.dist[from] + w; nd < d.dist[to] {
+		d.dist[to] = nd
+		d.prev[to] = int32(from)
+		d.heap.push(pqItem{nd, int32(to)})
 	}
 }
 

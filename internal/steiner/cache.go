@@ -11,17 +11,43 @@ import (
 // re-calculated when gate positions change as well as when new cells are
 // created or old ones deleted").
 //
+// Beyond the per-net tree memo, the cache maintains per-net length and
+// weighted-length leaves under a fixed-topology pairwise summation tree, so
+// the aggregate queries (Total, WeightedTotal) cost O(dirty·log n) after
+// the first call instead of re-summing every net. The summation topology is
+// a function of the leaf capacity alone, which makes the incremental totals
+// bit-identical to a from-scratch rebuild: recomputing only the tree nodes
+// on dirty leaf paths reproduces exactly the additions a full bottom-up
+// rebuild would perform.
+//
 // The cache itself is not safe for concurrent use; parallelism lives in
-// PrepareAll, which batch-builds all invalid trees with a bounded worker
-// pool and then leaves the cache in a fully valid, read-only-queryable
-// state. Tree construction is a pure function of the net's pin locations,
-// so the batch result is identical to lazy serial construction.
+// PrepareAll/PrepareNets, which batch-build invalid trees with a bounded
+// worker pool and then leave the cache in a fully valid,
+// read-only-queryable state. Tree construction is a pure function of the
+// net's pin locations, so the batch result is identical to lazy serial
+// construction.
 type Cache struct {
 	nl    *netlist.Netlist
 	trees []*Tree // indexed by net ID; nil = invalid
 
-	// Workers bounds the PrepareAll fan-out used by the aggregate queries
-	// (Total, WeightedTotal). 0 or 1 keeps every build on the calling
+	// Summation-tree state. leafCap is a power of two ≥ NetCap; lenSum and
+	// wSum hold 2·leafCap nodes each in implicit heap layout (root at 1,
+	// leaf for net id at leafCap+id). Padding leaves are zero, which is
+	// exact under float64 addition, so capacity growth cannot perturb sums.
+	leafCap  int
+	lenSum   []float64
+	wSum     []float64
+	dirty    []int  // net IDs whose leaves need refreshing (deduplicated)
+	isDirty  []bool // by net ID
+	allDirty bool   // InvalidateAll: rebuild everything on next flush
+	primed   bool   // summation tree has been built at least once
+
+	// scratch for ancestor recomputation (level-ordered frontier).
+	frontier, nextFrontier []int
+	nodeMark               []bool
+
+	// Workers bounds the fan-out used when batch-building stale trees for
+	// the aggregate queries. 0 or 1 keeps every build on the calling
 	// goroutine.
 	Workers int
 
@@ -32,7 +58,7 @@ type Cache struct {
 
 // NewCache creates a cache and subscribes it to the netlist.
 func NewCache(nl *netlist.Netlist) *Cache {
-	c := &Cache{nl: nl}
+	c := &Cache{nl: nl, allDirty: true}
 	nl.Observe(c)
 	return c
 }
@@ -44,6 +70,30 @@ func (c *Cache) grow(id int) {
 	for len(c.trees) <= id {
 		c.trees = append(c.trees, nil)
 	}
+	for len(c.isDirty) <= id {
+		c.isDirty = append(c.isDirty, false)
+	}
+}
+
+// markDirty queues net id for a leaf refresh on the next aggregate query.
+func (c *Cache) markDirty(id int) {
+	if c.allDirty {
+		return // a full rebuild is already pending
+	}
+	c.grow(id)
+	if !c.isDirty[id] {
+		c.isDirty[id] = true
+		c.dirty = append(c.dirty, id)
+	}
+}
+
+// DirtyNets returns the number of nets whose aggregate contribution is
+// stale: the cost of the next Total/WeightedTotal call in nets.
+func (c *Cache) DirtyNets() int {
+	if c.allDirty {
+		return c.nl.NumNets()
+	}
+	return len(c.dirty)
 }
 
 // PrepareAll builds every invalid tree of a live net, fanning the
@@ -61,6 +111,32 @@ func (c *Cache) PrepareAll(workers int) int {
 			stale = append(stale, n)
 		}
 	})
+	c.buildBatch(workers, stale)
+	return len(stale)
+}
+
+// PrepareNets builds the invalid trees among the given nets (which must be
+// live), with the same bounded fan-out and determinism as PrepareAll but
+// without scanning the whole netlist — O(len(nets)) instead of O(N). The
+// incremental congestion analyzer uses it to refresh only its dirty set.
+func (c *Cache) PrepareNets(workers int, nets []*netlist.Net) int {
+	if len(nets) == 0 {
+		return 0
+	}
+	c.grow(c.nl.NetCap() - 1)
+	var stale []*netlist.Net
+	for _, n := range nets {
+		if c.trees[n.ID] == nil {
+			stale = append(stale, n)
+		}
+	}
+	c.buildBatch(workers, stale)
+	return len(stale)
+}
+
+// buildBatch constructs the trees of the given stale nets in parallel.
+// Each worker writes only its own nets' slots.
+func (c *Cache) buildBatch(workers int, stale []*netlist.Net) {
 	par.For(workers, len(stale), func(_, lo, hi int) {
 		for _, n := range stale[lo:hi] {
 			pins := n.Pins()
@@ -72,7 +148,6 @@ func (c *Cache) PrepareAll(workers int) int {
 		}
 	})
 	c.Rebuilds += len(stale)
-	return len(stale)
 }
 
 // Tree returns the Steiner tree of net n, with tree node i corresponding
@@ -97,47 +172,155 @@ func (c *Cache) Tree(n *netlist.Net) *Tree {
 func (c *Cache) Length(n *netlist.Net) float64 { return c.Tree(n).Length }
 
 // WeightedTotal returns Σ weight(net)·steinerLength(net) over live nets.
-// Stale trees are batch-built in parallel (Workers); the sum itself runs
-// serially in net ID order so the result is bit-identical for any worker
-// count.
+// Stale trees are batch-built in parallel (Workers); the reduction is the
+// fixed-topology summation tree, so the result is bit-identical for any
+// worker count and for any interleaving of edits and queries.
 func (c *Cache) WeightedTotal() float64 {
-	if c.Workers > 1 {
-		c.PrepareAll(c.Workers)
+	c.flushTotals()
+	if c.leafCap == 0 {
+		return 0
 	}
-	var s float64
-	c.nl.Nets(func(n *netlist.Net) {
-		s += n.Weight * c.Length(n)
-	})
-	return s
+	return c.wSum[1]
 }
 
 // Total returns the unweighted total Steiner wire length. Like
-// WeightedTotal, tree construction fans out while the reduction stays
-// serial in ID order.
+// WeightedTotal, it reads the root of the summation tree after an O(dirty)
+// refresh.
 func (c *Cache) Total() float64 {
-	if c.Workers > 1 {
-		c.PrepareAll(c.Workers)
+	c.flushTotals()
+	if c.leafCap == 0 {
+		return 0
 	}
-	var s float64
-	c.nl.Nets(func(n *netlist.Net) {
-		s += c.Length(n)
-	})
-	return s
+	return c.lenSum[1]
 }
 
-// InvalidateAll drops every cached tree; the next aggregate query
-// rebuilds them (batched in parallel when Workers > 1).
+// flushTotals brings the summation trees up to date: builds missing
+// Steiner trees for dirty nets (parallel), refreshes their leaves, and
+// recomputes exactly the ancestor nodes on dirty paths. When the leaf
+// capacity must grow or everything is dirty it falls back to a full
+// bottom-up rebuild — which performs the identical additions, keeping the
+// two regimes bit-identical.
+func (c *Cache) flushTotals() {
+	want := nextPow2(c.nl.NetCap())
+	if c.allDirty || !c.primed || want != c.leafCap {
+		c.rebuildTotals(want)
+		return
+	}
+	if len(c.dirty) == 0 {
+		return
+	}
+	// Build the missing trees of dirty live nets in one parallel batch.
+	var stale []*netlist.Net
+	for _, id := range c.dirty {
+		if n := c.nl.NetByID(id); n != nil && c.trees[id] == nil {
+			stale = append(stale, n)
+		}
+	}
+	c.buildBatch(c.Workers, stale)
+
+	// Refresh dirty leaves. Dead (removed or never-connected) nets hold 0.
+	c.frontier = c.frontier[:0]
+	for _, id := range c.dirty {
+		c.isDirty[id] = false
+		var L, W float64
+		if n := c.nl.NetByID(id); n != nil {
+			L = c.trees[id].Length
+			W = n.Weight * L
+		}
+		leaf := c.leafCap + id
+		c.lenSum[leaf] = L
+		c.wSum[leaf] = W
+		p := leaf >> 1
+		if !c.nodeMark[p] {
+			c.nodeMark[p] = true
+			c.frontier = append(c.frontier, p)
+		}
+	}
+	c.dirty = c.dirty[:0]
+
+	// Recompute ancestors level by level: every node in the frontier sits
+	// at the same depth (leaves all share one depth since leafCap is a
+	// power of two), so children are always final before their parent is
+	// re-added from them.
+	for len(c.frontier) > 0 {
+		c.nextFrontier = c.nextFrontier[:0]
+		for _, v := range c.frontier {
+			c.nodeMark[v] = false
+			c.lenSum[v] = c.lenSum[2*v] + c.lenSum[2*v+1]
+			c.wSum[v] = c.wSum[2*v] + c.wSum[2*v+1]
+			if v > 1 {
+				p := v >> 1
+				if !c.nodeMark[p] {
+					c.nodeMark[p] = true
+					c.nextFrontier = append(c.nextFrontier, p)
+				}
+			}
+		}
+		c.frontier, c.nextFrontier = c.nextFrontier, c.frontier
+	}
+}
+
+// rebuildTotals reconstructs the summation trees from scratch at the given
+// leaf capacity.
+func (c *Cache) rebuildTotals(leafCap int) {
+	c.PrepareAll(c.Workers)
+	c.leafCap = leafCap
+	if len(c.lenSum) != 2*leafCap {
+		c.lenSum = make([]float64, 2*leafCap)
+		c.wSum = make([]float64, 2*leafCap)
+		c.nodeMark = make([]bool, leafCap)
+	} else {
+		for i := range c.lenSum {
+			c.lenSum[i] = 0
+			c.wSum[i] = 0
+		}
+	}
+	c.nl.Nets(func(n *netlist.Net) {
+		L := c.trees[n.ID].Length
+		c.lenSum[leafCap+n.ID] = L
+		c.wSum[leafCap+n.ID] = n.Weight * L
+	})
+	for i := leafCap - 1; i >= 1; i-- {
+		c.lenSum[i] = c.lenSum[2*i] + c.lenSum[2*i+1]
+		c.wSum[i] = c.wSum[2*i] + c.wSum[2*i+1]
+	}
+	for _, id := range c.dirty {
+		c.isDirty[id] = false
+	}
+	c.dirty = c.dirty[:0]
+	c.allDirty = false
+	c.primed = true
+}
+
+// nextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// InvalidateAll drops every cached tree; the next aggregate query rebuilds
+// them (batched in parallel when Workers > 1) along with the summation
+// trees.
 func (c *Cache) InvalidateAll() {
 	for i := range c.trees {
 		c.trees[i] = nil
 	}
+	for _, id := range c.dirty {
+		c.isDirty[id] = false
+	}
+	c.dirty = c.dirty[:0]
+	c.allDirty = true
 }
 
-// Invalidate drops the cached tree of net n.
+// Invalidate drops the cached tree of net n and queues its aggregate
+// contribution for refresh.
 func (c *Cache) Invalidate(n *netlist.Net) {
-	if n.ID < len(c.trees) {
-		c.trees[n.ID] = nil
-	}
+	c.grow(n.ID)
+	c.trees[n.ID] = nil
+	c.markDirty(n.ID)
 }
 
 // GateMoved implements netlist.Observer.

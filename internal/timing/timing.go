@@ -483,6 +483,11 @@ func (e *Engine) flushAll() {
 			ids = append(ids, id)
 		}
 	}
+	// Batch-prepare the delay caches on both branches: prepared results
+	// are identical to lazy ones, and preparing the same net set keeps
+	// the analyzer pass counters (printed by tpsflow) worker-independent,
+	// not just the metrics.
+	e.Calc.Prepare(e.Workers)
 	if e.Workers > 1 {
 		e.flushAllParallel(ids)
 		return
@@ -504,10 +509,9 @@ func (e *Engine) flushAll() {
 // one); pins trapped on combinational cycles read nothing. Each level is
 // therefore a clean barrier, every pin is written exactly once at its own
 // slot, and the values are bit-identical to the serial pass for any worker
-// count. The delay caches are batch-prepared first so worker goroutines
-// only ever read them.
+// count. The delay caches are batch-prepared by flushAll so worker
+// goroutines only ever read them.
 func (e *Engine) flushAllParallel(ids []int) {
-	e.Calc.Prepare(e.Workers)
 	var maxL int32
 	for _, id := range ids {
 		if e.level[id] > maxL {

@@ -23,6 +23,7 @@ import (
 
 	"tps/internal/cell"
 	"tps/internal/clockscan"
+	"tps/internal/congestion"
 	"tps/internal/core"
 	"tps/internal/gen"
 	"tps/internal/netio"
@@ -49,6 +50,12 @@ type SPROptions = core.SPROptions
 
 // Histogram is a Figure 2 wire-load prediction-error histogram.
 type Histogram = route.Histogram
+
+// CongestionReport is the cut-line congestion summary.
+type CongestionReport = congestion.Report
+
+// AnalyzerStats carries the incremental analyzers' dirty-set counters.
+type AnalyzerStats = core.AnalyzerStats
 
 // Library is the standard-cell library type.
 type Library = cell.Library
@@ -140,8 +147,18 @@ func (d *Design) Evaluate() Metrics { return d.ctx.Evaluate("current") }
 // WorstSlack returns the current worst slack in ps.
 func (d *Design) WorstSlack() float64 { return d.ctx.Eng.WorstSlack() }
 
-// WireLength returns the current total Steiner wire length in µm.
+// WireLength returns the current total Steiner wire length in µm. After
+// the first call the cost is proportional to the number of nets touched
+// since the previous call (delta evaluation).
 func (d *Design) WireLength() float64 { return d.ctx.St.Total() }
+
+// Congestion re-analyzes wiring demand through the design's stateful
+// congestion analyzer: only nets dirtied since the last analysis are
+// re-rasterized, and the report is bit-identical to a full pass.
+func (d *Design) Congestion() CongestionReport { return d.ctx.Cong.Analyze() }
+
+// Stats returns the incremental analyzers' dirty-set and pass counters.
+func (d *Design) Stats() AnalyzerStats { return d.ctx.AnalyzerStats() }
 
 // ClockWireLength returns the total clock-net wire length in µm.
 func (d *Design) ClockWireLength() float64 { return clockscan.ClockNetLength(d.ctx.NL) }
