@@ -266,6 +266,40 @@ func BenchmarkParallelAnalyzers(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelTransforms measures the transform execution layer:
+// the complete TPS flow — forked quadrisection, concurrent partition
+// restarts, colored Reflow/DetailedPlace windows — at worker widths 1,
+// 2, 4, and 8 on the same design. CI publishes these rows as
+// BENCH_transforms.json; on a ≥4-core runner workers=4 should run ≥2×
+// faster per op than workers=1. The layer guarantees bit-identical
+// metrics at every width, enforced here across sub-benchmarks and by
+// TestWorkersBitIdentical on the whole flow.
+func BenchmarkParallelTransforms(b *testing.B) {
+	p := Table1Params(5, BenchScale)
+	var base core.Metrics
+	for wi, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var m core.Metrics
+			for i := 0; i < b.N; i++ {
+				d := NewDesign(p)
+				d.SetWorkers(w)
+				m = d.RunTPS(DefaultTPSOptions())
+				d.Close()
+			}
+			if wi == 0 {
+				base = m
+			} else if m.WorstSlack != base.WorstSlack || m.TNS != base.TNS ||
+				m.SteinerWireUm != base.SteinerWireUm || m.AreaUm2 != base.AreaUm2 ||
+				m.RoutedWireUm != base.RoutedWireUm ||
+				m.RouteOverflows != base.RouteOverflows {
+				b.Fatalf("workers=%d metrics diverged from serial: %+v vs %+v", w, m, base)
+			}
+			b.ReportMetric(m.WorstSlack, "slack-ps")
+			b.ReportMetric(m.SteinerWireUm, "wire-um")
+		})
+	}
+}
+
 // BenchmarkIncrementalAnalyzers measures the delta-evaluation layer: the
 // cost of re-analyzing Steiner totals plus congestion after dirtying a
 // given fraction of the design, incrementally (incr: only dirty nets are

@@ -15,6 +15,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"time"
 
 	"tps"
 )
@@ -28,33 +30,37 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator / flow seed")
 	des := flag.Int("des", 0, "use Table 1 design Des<n> (1–5) instead of -gates")
 	scale := flag.Float64("scale", 0.1, "scale factor for -des designs")
-	workers := flag.Int("workers", 0, "analyzer fan-out width (0 = GOMAXPROCS; metrics are bit-identical at any width)")
+	workers := flag.Int("workers", 0, "analyzer/transform fan-out width (0 = GOMAXPROCS; metrics are bit-identical at any width)")
+	compare := flag.Bool("compare", false, "rerun the flow at workers=1 on an identical design and print per-transform speedups (generated designs only)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the flow to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (post-flow) to this file")
 	verbose := flag.Bool("v", false, "print flow progress")
 	flag.Parse()
 
-	var d *tps.Design
-	switch {
-	case *in != "":
-		f, err := os.Open(*in)
-		if err != nil {
-			fatal(err)
+	makeDesign := func() *tps.Design {
+		switch {
+		case *in != "":
+			f, err := os.Open(*in)
+			if err != nil {
+				fatal(err)
+			}
+			d, err := tps.Load(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			return d
+		case *des >= 1 && *des <= 5:
+			p := tps.Table1Params(*des, *scale)
+			p.Seed = *seed
+			return tps.NewDesign(p)
+		default:
+			return tps.NewDesign(tps.DesignParams{
+				Name: "gen", NumGates: *gates, Levels: *levels, Seed: *seed,
+			})
 		}
-		d, err = tps.Load(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-	case *des >= 1 && *des <= 5:
-		p := tps.Table1Params(*des, *scale)
-		p.Seed = *seed
-		d = tps.NewDesign(p)
-	default:
-		d = tps.NewDesign(tps.DesignParams{
-			Name: "gen", NumGates: *gates, Levels: *levels, Seed: *seed,
-		})
 	}
+	d := makeDesign()
 	defer d.Close()
 	if *verbose {
 		d.SetLog(os.Stderr)
@@ -99,6 +105,32 @@ func main() {
 	st := d.Stats()
 	fmt.Printf("     analyzers: steiner rebuilds=%d, congestion passes full=%d incremental=%d, timing recomputes=%d\n",
 		st.SteinerRebuilds, st.CongestionFullPasses, st.CongestionIncrementalPasses, st.TimingRecomputes)
+	printPhases(d.PhaseTimes(), nil)
+
+	if *compare {
+		ref := makeDesign()
+		ref.SetWorkers(1)
+		var mr tps.Metrics
+		switch *flow {
+		case "tps":
+			mr = ref.RunTPS(tps.DefaultTPSOptions())
+		case "spr":
+			mr = ref.RunSPR(tps.DefaultSPROptions())
+		}
+		same := m.WorstSlack == mr.WorstSlack && m.TNS == mr.TNS &&
+			m.SteinerWireUm == mr.SteinerWireUm && m.AreaUm2 == mr.AreaUm2 &&
+			m.RoutedWireUm == mr.RoutedWireUm && m.RouteOverflows == mr.RouteOverflows
+		fmt.Printf("     compare vs workers=1: metrics identical=%v\n", same)
+		printPhases(d.PhaseTimes(), ref.PhaseTimes())
+		if mr.CPUSeconds > 0 {
+			fmt.Printf("     speedup: %.2fx end-to-end (%.1fs → %.1fs)\n",
+				mr.CPUSeconds/m.CPUSeconds, mr.CPUSeconds, m.CPUSeconds)
+		}
+		ref.Close()
+		if !same {
+			fatal(fmt.Errorf("metrics diverged between worker counts"))
+		}
+	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -123,6 +155,27 @@ func main() {
 		f.Close()
 		fmt.Printf("wrote %s\n", *out)
 	}
+}
+
+// printPhases prints per-transform wall clock, and speedups against a
+// reference (serial) run when ref is non-nil.
+func printPhases(pt, ref map[string]time.Duration) {
+	if len(pt) == 0 {
+		return
+	}
+	names := make([]string, 0, len(pt))
+	for n := range pt {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return pt[names[i]] > pt[names[j]] })
+	fmt.Printf("     transforms:")
+	for _, n := range names {
+		fmt.Printf(" %s=%.2fs", n, pt[n].Seconds())
+		if ref != nil && pt[n] > 0 {
+			fmt.Printf("(%.2fx)", ref[n].Seconds()/pt[n].Seconds())
+		}
+	}
+	fmt.Println()
 }
 
 func fatal(err error) {

@@ -57,6 +57,22 @@ type Context struct {
 
 	// Log receives progress lines when non-nil.
 	Log io.Writer
+
+	// PhaseTimes accumulates per-transform wall clock across a flow run
+	// (partition, reflow, synthesis, congestion, legalize, detailed,
+	// route, quadratic). Purely observational: it never influences any
+	// decision, so determinism is untouched.
+	PhaseTimes map[string]time.Duration
+}
+
+// track starts a named phase timer; the returned func stops it and adds the
+// elapsed time to PhaseTimes[name].
+func (c *Context) track(name string) func() {
+	if c.PhaseTimes == nil {
+		c.PhaseTimes = make(map[string]time.Duration)
+	}
+	t0 := time.Now()
+	return func() { c.PhaseTimes[name] += time.Since(t0) }
 }
 
 // NewContext builds the analyzer stack over a generated design, starting
@@ -102,8 +118,8 @@ func (c *Context) Close() {
 type AnalyzerStats struct {
 	// SteinerDirty / CongestionDirty are the current dirty-set sizes — the
 	// cost, in nets, of the next aggregate query.
-	SteinerDirty     int
-	CongestionDirty  int
+	SteinerDirty    int
+	CongestionDirty int
 	// SteinerRebuilds counts Steiner tree constructions since the cache
 	// was created.
 	SteinerRebuilds int
@@ -236,6 +252,7 @@ func RunTPS(c *Context, opt TPSOptions) Metrics {
 	}
 
 	placer := place.New(c.NL, c.Im, c.Seed)
+	placer.Workers = c.Workers
 	sched := clockscan.NewScheduler(c.NL, c.Im, c.St)
 	weighter := netweight.New(c.NL, c.Eng, opt.WeightMode)
 	weighter.UseLogicalEffort = opt.UseLogicalEffort
@@ -275,9 +292,13 @@ func RunTPS(c *Context, opt TPSOptions) Metrics {
 		// applying transforms on the placement plateau, exactly as the
 		// paper's step-5 scenario does.
 		if placer.Status() < status {
+			stop := c.track("partition")
 			placer.Partition(status)
+			stop()
 			if !opt.DisableReflow {
+				stop = c.track("reflow")
 				placer.Reflow()
+				stop()
 			}
 		}
 		// Track the refining bin size in the §3 intra-bin wire estimate.
@@ -294,6 +315,7 @@ func RunTPS(c *Context, opt TPSOptions) Metrics {
 		}
 		weighter.Apply()
 
+		stopSynth := c.track("synthesis")
 		// Algorithm PlacementDisc: virtual below T, actual at T.
 		if !discretized {
 			if status >= opt.DiscretizeAt || !opt.VirtualDiscretization {
@@ -335,6 +357,7 @@ func RunTPS(c *Context, opt TPSOptions) Metrics {
 			c.logf("status %3d: late area recovery resized %d", status, n)
 		}
 		rel.RelieveAll(0.25)
+		stopSynth()
 		placer.SyncImage()
 
 		// Keep the congestion picture current at every status through the
@@ -342,7 +365,9 @@ func RunTPS(c *Context, opt TPSOptions) Metrics {
 		// status re-rasterize (with an automatic full pass after the bin
 		// grid refines), instead of constructing a fresh analysis.
 		dirtyNets := c.Cong.DirtyNets()
+		stopCong := c.track("congestion")
 		crep := c.Cong.Analyze()
+		stopCong()
 		c.logf("status %3d: congestion Horiz %.0f/%.0f Vert %.0f/%.0f (%d dirty nets)",
 			status, crep.HorizPeak, crep.HorizAvg, crep.VertPeak, crep.VertAvg, dirtyNets)
 	}
@@ -356,8 +381,14 @@ func RunTPS(c *Context, opt TPSOptions) Metrics {
 		sizing.DiscretizeActual(c.NL, c.Calc)
 		c.Eng.SetMode(delay.Actual)
 	}
+	dopt := place.DefaultDetailedOptions()
+	dopt.Workers = c.Workers
+	stop := c.track("legalize")
 	place.Legalize(c.NL, c.ChipW, c.ChipH)
-	place.DetailedPlace(c.NL, c.St, c.ChipW, c.ChipH, place.DefaultDetailedOptions(), nil)
+	stop()
+	stop = c.track("detailed")
+	place.DetailedPlace(c.NL, c.St, c.ChipW, c.ChipH, dopt, nil)
+	stop()
 	syncImage(c)
 
 	if opt.DisableClockScanSchedule {
@@ -375,13 +406,19 @@ func RunTPS(c *Context, opt TPSOptions) Metrics {
 	// optimization round on the *legal* placement, followed by clean-up
 	// legalization of the (small) width/insertion perturbations.
 	{
+		stop = c.track("synthesis")
 		ns := sizing.SizeForSpeed(c.NL, c.Eng, c.Im, 0.08*c.Period, 2*budget)
 		nb := so.BufferCritical(budget)
 		ncl := so.CloneCritical(budget)
 		np := so.PinSwap(budget)
+		stop()
 		c.logf("final pass: sizes %d, buffers %d, clones %d, pin swaps %d", ns, nb, ncl, np)
+		stop = c.track("legalize")
 		place.Legalize(c.NL, c.ChipW, c.ChipH)
-		place.DetailedPlace(c.NL, c.St, c.ChipW, c.ChipH, place.DefaultDetailedOptions(), nil)
+		stop()
+		stop = c.track("detailed")
+		place.DetailedPlace(c.NL, c.St, c.ChipW, c.ChipH, dopt, nil)
+		stop()
 		// Geometry-preserving correction absorbs the re-legalization.
 		sizing.InFootprintResize(c.NL, c.Eng, 0.08*c.Period)
 		so.PinSwap(budget)
@@ -389,7 +426,9 @@ func RunTPS(c *Context, opt TPSOptions) Metrics {
 
 	m := c.Evaluate("TPS")
 	if !opt.SkipRouting {
+		stop = c.track("route")
 		res := route.RouteAllN(c.NL, c.St, c.Im, c.Workers)
+		stop()
 		m.RoutedWireUm = res.TotalLen
 		m.RouteOverflows = res.Overflows
 		n := sizing.InFootprintResize(c.NL, c.Eng, 60)
@@ -458,7 +497,12 @@ func RunSPR(c *Context, opt SPROptions) Metrics {
 			c.NL.SetNetWeight(n, 0)
 		}
 	})
-	quadratic.Place(c.NL, c.ChipW, c.ChipH, quadratic.DefaultOptions())
+	qopt := quadratic.DefaultOptions()
+	qopt.Seed = c.Seed
+	qopt.Workers = c.Workers
+	stop := c.track("quadratic")
+	quadratic.Place(c.NL, c.ChipW, c.ChipH, qopt)
+	stop()
 	for c.Im.Level < c.Im.MaxLevel {
 		c.Im.Subdivide()
 	}
@@ -495,7 +539,11 @@ func RunSPR(c *Context, opt SPROptions) Metrics {
 		}
 		prev = ws
 	}
-	place.DetailedPlace(c.NL, c.St, c.ChipW, c.ChipH, place.DefaultDetailedOptions(), nil)
+	dopt := place.DefaultDetailedOptions()
+	dopt.Workers = c.Workers
+	stop = c.track("detailed")
+	place.DetailedPlace(c.NL, c.St, c.ChipW, c.ChipH, dopt, nil)
+	stop()
 
 	m := c.Evaluate("SPR")
 	if !opt.SkipRouting {

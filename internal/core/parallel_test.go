@@ -4,12 +4,13 @@ import (
 	"testing"
 
 	"tps/internal/congestion"
+	"tps/internal/place"
 	"tps/internal/route"
 )
 
 // runWithWorkers runs the full TPS scenario (routing included) on a fresh
 // copy of the same seeded design with the given worker count.
-func runWithWorkers(t *testing.T, workers int) Metrics {
+func runWithWorkers(t *testing.T, workers int) (Metrics, AnalyzerStats) {
 	t.Helper()
 	d := smallDesign(7)
 	c := NewContext(d, 7)
@@ -17,7 +18,8 @@ func runWithWorkers(t *testing.T, workers int) Metrics {
 	c.SetWorkers(workers)
 	opt := DefaultTPSOptions()
 	opt.TransformBudget = 16
-	return RunTPS(c, opt)
+	m := RunTPS(c, opt)
+	return m, c.AnalyzerStats()
 }
 
 // TestWorkersBitIdentical is the acceptance gate for the parallel
@@ -27,8 +29,8 @@ func runWithWorkers(t *testing.T, workers int) Metrics {
 // pure per-item computation and reduces in a fixed order, so any
 // divergence here is a determinism bug, not float noise.
 func TestWorkersBitIdentical(t *testing.T) {
-	serial := runWithWorkers(t, 1)
-	par8 := runWithWorkers(t, 8)
+	serial, statS := runWithWorkers(t, 1)
+	par8, statP := runWithWorkers(t, 8)
 
 	type pair struct {
 		name string
@@ -57,6 +59,68 @@ func TestWorkersBitIdentical(t *testing.T) {
 	if serial.RouteOverflows != par8.RouteOverflows {
 		t.Errorf("RouteOverflows: serial %d != parallel %d",
 			serial.RouteOverflows, par8.RouteOverflows)
+	}
+	// The transform execution layer must not perturb the analyzers' work
+	// accounting either: every dirty-set size and pass/recompute counter has
+	// to match field for field, or some transform took a different path at
+	// the two worker counts.
+	if statS != statP {
+		t.Errorf("AnalyzerStats diverged: serial %+v != parallel %+v", statS, statP)
+	}
+}
+
+// transformTrace steps the placement transforms by hand at the given
+// worker count and snapshots an analyzer reading after every step —
+// wire length, worst slack, and congestion peaks — so transform
+// execution and incremental analyzer queries interleave tightly. Under
+// -race this exercises the parallel transform paths against the
+// analyzers' observer machinery; the returned trace pins determinism.
+func transformTrace(t *testing.T, workers int) []float64 {
+	t.Helper()
+	d := smallDesign(9)
+	c := NewContext(d, 9)
+	defer c.Close()
+	c.SetWorkers(workers)
+
+	placer := place.New(c.NL, c.Im, c.Seed)
+	placer.Workers = c.Workers
+	placer.Init()
+
+	var trace []float64
+	probe := func() {
+		rep := c.Cong.Analyze()
+		trace = append(trace, c.St.Total(), c.Eng.WorstSlack(),
+			rep.HorizPeak, rep.VertPeak)
+	}
+	for status := 10; status <= 100; status += 30 {
+		placer.Partition(status)
+		probe()
+		placer.Reflow()
+		probe()
+	}
+	place.Legalize(c.NL, c.ChipW, c.ChipH)
+	dopt := place.DefaultDetailedOptions()
+	dopt.Workers = c.Workers
+	place.DetailedPlace(c.NL, c.St, c.ChipW, c.ChipH, dopt, nil)
+	probe()
+	return trace
+}
+
+// TestTransformAnalyzerInterleaveDeterministic interleaves parallel
+// transform execution with incremental analyzer queries and requires the
+// full observation trace to be bit-identical between serial and 8-way
+// execution. Run with -race to also prove the interleaving is data-race
+// free.
+func TestTransformAnalyzerInterleaveDeterministic(t *testing.T) {
+	serial := transformTrace(t, 1)
+	par8 := transformTrace(t, 8)
+	if len(serial) != len(par8) {
+		t.Fatalf("trace length: serial %d != parallel %d", len(serial), len(par8))
+	}
+	for i := range serial {
+		if serial[i] != par8[i] {
+			t.Errorf("trace[%d]: serial %v != parallel %v", i, serial[i], par8[i])
+		}
 	}
 }
 

@@ -266,6 +266,11 @@ type Netlist struct {
 
 	observers []Observer
 
+	// batchMoved, when non-nil, marks an open move batch: MoveGate records
+	// moved gate IDs here instead of notifying observers (see
+	// BeginMoveBatch).
+	batchMoved []bool
+
 	// Edits counts topology-changing mutations; analyzers use it to
 	// detect when levelization must be redone.
 	Edits uint64
@@ -361,6 +366,7 @@ func (nl *Netlist) NetByID(id int) *Net {
 // (SizeIdx -1) with gain 4 unless discretized later; pads are created at
 // their smallest size and fixed by the caller.
 func (nl *Netlist) AddGate(name string, c *cell.Cell) *Gate {
+	nl.assertNoBatch("AddGate")
 	g := &Gate{
 		ID:        len(nl.gates),
 		Name:      name,
@@ -444,6 +450,7 @@ func (nl *Netlist) RemoveNet(n *Net) {
 
 // RemoveGate disconnects all pins and tombstones the gate.
 func (nl *Netlist) RemoveGate(g *Gate) {
+	nl.assertNoBatch("RemoveGate")
 	if g.Removed {
 		return
 	}
@@ -458,15 +465,71 @@ func (nl *Netlist) RemoveGate(g *Gate) {
 	}
 }
 
-// MoveGate relocates a gate and notifies observers.
+// MoveGate relocates a gate and notifies observers. Inside a move batch
+// (BeginMoveBatch) the notification is deferred instead: the move itself is
+// recorded and observers hear one GateMoved per moved gate, in gate-ID
+// order, when the batch ends.
 func (nl *Netlist) MoveGate(g *Gate, x, y float64) {
 	if g.X == x && g.Y == y && g.Placed {
 		return
 	}
 	g.X, g.Y = x, y
 	g.Placed = true
+	if nl.batchMoved != nil {
+		// Distinct gates touch distinct slots, so concurrent movers that
+		// own disjoint gate sets need no further synchronization.
+		nl.batchMoved[g.ID] = true
+		return
+	}
 	for _, o := range nl.observers {
 		o.GateMoved(g)
+	}
+}
+
+// BeginMoveBatch suspends per-move observer notification until the matching
+// EndMoveBatch. It exists for the parallel transform execution layer: while
+// a batch is open, MoveGate may be called concurrently from multiple
+// goroutines as long as each gate is moved by at most one goroutine — the
+// batch turns the shared observer fan-out (the one mutable state MoveGate
+// touches) into a per-gate flag write. Every other mutation (topology
+// edits, resizes, weight changes) stays single-threaded-only and panics
+// inside a batch, because its observers cannot be replayed in a
+// deterministic order.
+func (nl *Netlist) BeginMoveBatch() {
+	if nl.batchMoved != nil {
+		panic("netlist: nested BeginMoveBatch")
+	}
+	nl.batchMoved = make([]bool, len(nl.gates))
+}
+
+// EndMoveBatch closes the batch and replays one GateMoved per moved gate in
+// ascending gate-ID order — a deterministic schedule regardless of how many
+// goroutines performed the moves, so incremental analyzers accumulate their
+// dirty sets in the same order a serial transform would produce.
+func (nl *Netlist) EndMoveBatch() {
+	moved := nl.batchMoved
+	if moved == nil {
+		panic("netlist: EndMoveBatch without BeginMoveBatch")
+	}
+	nl.batchMoved = nil
+	for id, m := range moved {
+		if !m {
+			continue
+		}
+		g := nl.gates[id]
+		if g == nil || g.Removed {
+			continue
+		}
+		for _, o := range nl.observers {
+			o.GateMoved(g)
+		}
+	}
+}
+
+// assertNoBatch guards the mutations that cannot be deferred.
+func (nl *Netlist) assertNoBatch(op string) {
+	if nl.batchMoved != nil {
+		panic("netlist: " + op + " inside a move batch")
 	}
 }
 
@@ -547,12 +610,14 @@ func (nl *Netlist) SwapPins(a, b *Pin) {
 }
 
 func (nl *Netlist) notifyNet(n *Net) {
+	nl.assertNoBatch("net edit")
 	for _, o := range nl.observers {
 		o.NetChanged(n)
 	}
 }
 
 func (nl *Netlist) notifyResize(g *Gate) {
+	nl.assertNoBatch("resize")
 	for _, o := range nl.observers {
 		o.GateResized(g)
 	}

@@ -416,3 +416,74 @@ func (f *funcObserver) NetChanged(*Net) {
 	}
 	f.seen++
 }
+
+type moveTrace struct {
+	ids []int
+}
+
+func (m *moveTrace) GateMoved(g *Gate) { m.ids = append(m.ids, g.ID) }
+func (m *moveTrace) GateResized(*Gate) {}
+func (m *moveTrace) NetChanged(*Net)   {}
+func (m *moveTrace) GateAdded(*Gate)   {}
+func (m *moveTrace) GateRemoved(*Gate) {}
+
+func TestMoveBatchDefersAndReplaysInIDOrder(t *testing.T) {
+	nl := newNL()
+	var gs []*Gate
+	for i := 0; i < 5; i++ {
+		gs = append(gs, nl.AddGate("g", nl.Lib.Cell("INV")))
+	}
+	tr := &moveTrace{}
+	nl.Observe(tr)
+
+	nl.BeginMoveBatch()
+	// Move in descending ID order, some gates twice: replay must still be
+	// one notification per gate, ascending by ID.
+	for i := len(gs) - 1; i >= 0; i-- {
+		nl.MoveGate(gs[i], float64(i), 1)
+	}
+	nl.MoveGate(gs[3], 99, 99)
+	if len(tr.ids) != 0 {
+		t.Fatalf("observer notified during batch: %v", tr.ids)
+	}
+	nl.EndMoveBatch()
+	want := []int{0, 1, 2, 3, 4}
+	if len(tr.ids) != len(want) {
+		t.Fatalf("replayed %v, want %v", tr.ids, want)
+	}
+	for i, id := range tr.ids {
+		if id != want[i] {
+			t.Fatalf("replayed %v, want ascending IDs %v", tr.ids, want)
+		}
+	}
+	if gs[3].X != 99 {
+		t.Fatalf("last move lost: X = %v", gs[3].X)
+	}
+
+	// After the batch, MoveGate notifies immediately again.
+	nl.MoveGate(gs[0], 7, 7)
+	if len(tr.ids) != 6 || tr.ids[5] != 0 {
+		t.Fatalf("post-batch move not notified: %v", tr.ids)
+	}
+}
+
+func TestMoveBatchGuardsStructuralEdits(t *testing.T) {
+	nl := newNL()
+	g := nl.AddGate("g", nl.Lib.Cell("INV"))
+	n := nl.AddNet("n")
+	nl.BeginMoveBatch()
+	defer nl.EndMoveBatch()
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s inside a move batch did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Connect", func() { nl.Connect(g.Output(), n) })
+	mustPanic("AddGate", func() { nl.AddGate("h", nl.Lib.Cell("INV")) })
+	mustPanic("RemoveGate", func() { nl.RemoveGate(g) })
+	mustPanic("SetGain", func() { nl.SetGain(g, 2) })
+	mustPanic("BeginMoveBatch", nl.BeginMoveBatch)
+}

@@ -1,0 +1,129 @@
+package par
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllItems(t *testing.T) {
+	for _, w := range []int{0, 1, 2, 4, 9} {
+		for _, n := range []int{0, 1, 5, 100, 1000} {
+			hits := make([]int32, n)
+			ForEach(w, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("w=%d n=%d: item %d ran %d times", w, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	var got []int
+	ForEach(1, 5, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("serial ForEach out of order: %v", got)
+		}
+	}
+}
+
+func TestGroupRunsEveryTask(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		g := NewGroup(w)
+		var count int32
+		// Recursive spawn: binary decomposition of 64 leaves.
+		var rec func(n int)
+		rec = func(n int) {
+			if n == 1 {
+				atomic.AddInt32(&count, 1)
+				return
+			}
+			half := n / 2
+			g.Spawn(func() { rec(half) })
+			rec(n - half)
+		}
+		rec(64)
+		g.Wait()
+		if count != 64 {
+			t.Fatalf("workers=%d: %d leaves ran, want 64", w, count)
+		}
+	}
+}
+
+func TestGroupInlineWhenSaturated(t *testing.T) {
+	// workers=1 means no helper slots: every Spawn must run inline, so the
+	// tasks complete before Wait is even called.
+	g := NewGroup(1)
+	ran := false
+	g.Spawn(func() { ran = true })
+	if !ran {
+		t.Fatal("Spawn with workers=1 did not run inline")
+	}
+	g.Wait()
+}
+
+// TestBlockSumsWorkerInvariant is the contract: bit-identical float64 sums
+// at every worker count, including serial.
+func TestBlockSumsWorkerInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{0, 1, 255, 256, 257, 1000, 5000} {
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 1e3
+			ys[i] = rng.NormFloat64()
+		}
+		sum := func(w int) []float64 {
+			return BlockSums(w, n, 2, func(lo, hi int, partial []float64) {
+				var a, b float64
+				for i := lo; i < hi; i++ {
+					a += xs[i] * ys[i]
+					b += xs[i] * xs[i]
+				}
+				partial[0] = a
+				partial[1] = b
+			})
+		}
+		base := sum(1)
+		for _, w := range []int{2, 3, 8, 64} {
+			got := sum(w)
+			if got[0] != base[0] || got[1] != base[1] {
+				t.Fatalf("n=%d w=%d: %v != serial %v", n, w, got, base)
+			}
+		}
+	}
+}
+
+func TestBlockSumsAccuracy(t *testing.T) {
+	// Pairwise summation of a constant vector must be exact.
+	n := 4097
+	got := BlockSums(4, n, 1, func(lo, hi int, partial []float64) {
+		for i := lo; i < hi; i++ {
+			partial[0] += 0.5
+		}
+	})
+	if got[0] != float64(n)*0.5 {
+		t.Fatalf("sum = %v, want %v", got[0], float64(n)*0.5)
+	}
+}
+
+func TestDeriveSeedMatchesPathSensitivity(t *testing.T) {
+	seen := map[int64]bool{}
+	for salt := int64(0); salt < 50; salt++ {
+		for lvl := int64(0); lvl < 6; lvl++ {
+			for stage := int64(0); stage < 5; stage++ {
+				s := DeriveSeed(7, salt, lvl, stage)
+				if seen[s] {
+					t.Fatalf("collision at (%d,%d,%d)", salt, lvl, stage)
+				}
+				seen[s] = true
+			}
+		}
+	}
+	if DeriveSeed(1, 2, 3) == DeriveSeed(2, 2, 3) {
+		t.Fatal("root seed ignored")
+	}
+}

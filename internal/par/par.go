@@ -12,6 +12,7 @@ package par
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // minGrain is the smallest amount of work worth shipping to a goroutine.
@@ -90,4 +91,160 @@ func SumInts(w, n int, body func(chunk, lo, hi int) int) int {
 		total += p
 	}
 	return total
+}
+
+// ForEach runs body(i) for every i in [0, n) with at most w goroutines in
+// flight, claiming items dynamically from a shared counter. Unlike For it
+// tolerates wildly uneven per-item cost (one slow item does not stall a
+// whole chunk), at the price of a nondeterministic item→worker assignment —
+// so body must confine its writes to item-private state (slot i of a result
+// slice), which makes the overall result independent of the claim order.
+// With w <= 1 the items run on the caller's goroutine in index order.
+func ForEach(w, n int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next int64
+	run := func() {
+		for {
+			i := int(atomic.AddInt64(&next, 1)) - 1
+			if i >= n {
+				return
+			}
+			body(i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for k := 1; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	run() // the caller participates
+	wg.Wait()
+}
+
+// Group is a bounded fork-join scope for recursive parallel decomposition
+// (the transform execution layer's recursive-spawn primitive). Spawn hands
+// the task to a fresh goroutine when a worker slot is free and otherwise
+// runs it inline on the caller — so recursion can spawn at every split
+// without unbounded goroutine growth, and a saturated pool degenerates to
+// plain depth-first execution. Inline execution never holds a slot, which
+// makes nested Spawn deadlock-free at any depth. Tasks must be mutually
+// independent (disjoint writes); results are then independent of which
+// tasks ran inline versus stolen.
+type Group struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+}
+
+// NewGroup returns a fork-join scope with at most workers-1 helper
+// goroutines (the caller is the remaining worker).
+func NewGroup(workers int) *Group {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Group{sem: make(chan struct{}, workers-1)}
+}
+
+// Spawn schedules task; it may run concurrently or inline. Call Wait before
+// using any state the spawned tasks write.
+func (g *Group) Spawn(task func()) {
+	select {
+	case g.sem <- struct{}{}:
+		g.wg.Add(1)
+		go func() {
+			defer func() {
+				<-g.sem
+				g.wg.Done()
+			}()
+			task()
+		}()
+	default:
+		task()
+	}
+}
+
+// Wait blocks until every spawned task has finished.
+func (g *Group) Wait() { g.wg.Wait() }
+
+// sumBlock is the fixed leaf width of the pairwise summation used by
+// BlockSums. It is a constant — never a function of the worker count — so
+// the reduction topology, and therefore every float64 result, is identical
+// at any parallelism.
+const sumBlock = 256
+
+// BlockSums computes k simultaneous float64 sums over [0, n) with the same
+// fixed-topology pairwise-summation discipline the Steiner cache uses for
+// its totals: the range is cut into ceil(n/sumBlock) fixed leaves, block
+// accumulates each leaf's k partial sums serially, and the leaves are folded
+// in a fixed binary tree. Leaf boundaries and tree shape depend only on n,
+// so the result is bit-identical for every worker count w — including w=1 —
+// which is what lets the quadratic placer's conjugate-gradient reductions
+// fan out without perturbing the solve.
+func BlockSums(w, n, k int, block func(lo, hi int, partial []float64)) []float64 {
+	out := make([]float64, k)
+	if n <= 0 || k <= 0 {
+		return out
+	}
+	nb := (n + sumBlock - 1) / sumBlock
+	parts := make([]float64, nb*k)
+	For(w, nb, func(_, blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo := b * sumBlock
+			hi := lo + sumBlock
+			if hi > n {
+				hi = n
+			}
+			block(lo, hi, parts[b*k:(b+1)*k])
+		}
+	})
+	// Fixed pairwise fold over the leaf partials (width-doubling tree).
+	for width := 1; width < nb; width *= 2 {
+		for i := 0; i+width < nb; i += 2 * width {
+			a := parts[i*k : (i+1)*k]
+			b := parts[(i+width)*k : (i+width+1)*k]
+			for c := 0; c < k; c++ {
+				a[c] += b[c]
+			}
+		}
+	}
+	copy(out, parts[:k])
+	return out
+}
+
+// SplitMix64 is the SplitMix64 finalizer: a bijective avalanche mix in
+// which every input bit affects every output bit.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// DeriveSeed hashes a root seed with a path of identifiers (cell salt,
+// refinement level, restart index, ...) into an independent child seed.
+// Parallel transforms key every random decision on a derived seed instead
+// of a shared RNG stream, which is what makes their results independent of
+// execution order: sibling subproblems draw from decorrelated streams no
+// matter which worker runs them first. SplitMix64 chaining keeps the
+// derivation splittable (any component change reseeds the whole subtree)
+// while making collisions between distinct paths vanishingly unlikely.
+func DeriveSeed(root int64, path ...int64) int64 {
+	h := SplitMix64(uint64(root))
+	for _, p := range path {
+		h = SplitMix64(h ^ SplitMix64(uint64(p)))
+	}
+	return int64(h)
 }

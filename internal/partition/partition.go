@@ -8,10 +8,11 @@
 package partition
 
 import (
-	"container/heap"
 	"math"
 	"math/rand"
 	"sort"
+
+	"tps/internal/par"
 )
 
 // Hypergraph is the partitioning input. Vertices are 0..NumV-1.
@@ -55,6 +56,11 @@ type Options struct {
 	CoarsenTo int
 	// LookAhead enables Krishnamurthy second-level gain tie-breaking.
 	LookAhead bool
+	// Workers bounds how many initial-partition restarts run concurrently.
+	// Each restart draws from its own seed-derived RNG stream and the
+	// winner is picked by (cut, restart index), so the result is identical
+	// at any worker count; <=1 runs serially.
+	Workers int
 }
 
 // DefaultOptions returns sensible defaults for placement-sized problems.
@@ -124,9 +130,9 @@ func Bipartition(h *Hypergraph, opt Options) Result {
 	}
 
 	coarsest := levels[len(levels)-1]
-	part := initialPartition(coarsest, opt, rng)
+	part := initialPartition(coarsest, opt)
 	repairBalance(coarsest, part, opt)
-	refine(coarsest, part, opt, rng)
+	refine(coarsest, part, opt)
 
 	for li := len(levels) - 2; li >= 0; li-- {
 		fine := levels[li]
@@ -137,7 +143,7 @@ func Bipartition(h *Hypergraph, opt Options) Result {
 		}
 		part = finePart
 		repairBalance(fine, part, opt)
-		refine(fine, part, opt, rng)
+		refine(fine, part, opt)
 	}
 	return Result{Part: part, Cut: Cut(levels[0], part)}
 }
@@ -297,9 +303,12 @@ func coarsen(h *Hypergraph, rng *rand.Rand) (*Hypergraph, []int32) {
 	return out, vmap
 }
 
-// initialPartition tries Restarts BFS-grown partitions plus one
-// area-greedy one and keeps the lowest-cut balanced result.
-func initialPartition(h *Hypergraph, opt Options, rng *rand.Rand) []int8 {
+// initialPartition tries Restarts BFS-grown partitions and keeps the
+// lowest-cut result. The restarts are independent — each draws from its own
+// RNG stream derived from (Seed, restart index) — so they run concurrently
+// under opt.Workers, and the winner is chosen by (cut, restart index): the
+// same strict-< scan a serial loop performs, never by completion order.
+func initialPartition(h *Hypergraph, opt Options) []int8 {
 	inc := incidence(h)
 	totalArea := 0.0
 	for _, a := range h.Area {
@@ -307,11 +316,26 @@ func initialPartition(h *Hypergraph, opt Options, rng *rand.Rand) []int8 {
 	}
 	target := totalArea * opt.TargetFrac
 
-	best := make([]int8, h.NumV)
-	bestCut := math.Inf(1)
+	parts := make([][]int8, opt.Restarts)
+	cuts := make([]float64, opt.Restarts)
+	par.ForEach(opt.Workers, opt.Restarts, func(r int) {
+		rng := rand.New(rand.NewSource(par.DeriveSeed(opt.Seed, 1, int64(r))))
+		part := growPartition(h, inc, target, rng)
+		parts[r], cuts[r] = part, Cut(h, part)
+	})
+	best := 0
+	for r := 1; r < opt.Restarts; r++ {
+		if cuts[r] < cuts[best] {
+			best = r
+		}
+	}
+	return parts[best]
+}
 
-	for r := 0; r < opt.Restarts; r++ {
-		part := make([]int8, h.NumV)
+// growPartition builds one BFS-grown initial partition.
+func growPartition(h *Hypergraph, inc [][]int32, target float64, rng *rand.Rand) []int8 {
+	part := make([]int8, h.NumV)
+	{
 		for v := range part {
 			part[v] = 1
 		}
@@ -370,12 +394,8 @@ func initialPartition(h *Hypergraph, opt Options, rng *rand.Rand) []int8 {
 				area0 += h.Area[vi]
 			}
 		}
-		if c := Cut(h, part); c < bestCut {
-			bestCut = c
-			copy(best, part)
-		}
 	}
-	return best
+	return part
 }
 
 // repairBalance greedily moves free vertices across the cut until side-0
@@ -479,10 +499,15 @@ type gainEntry struct {
 	stamp uint32
 }
 
+// gainHeap is a typed slice max-heap ordered by (gain desc, look-ahead tie
+// desc, vertex asc) — the same cleanup route's priority queue got: no
+// container/heap interface dispatch, no interface{} boxing per push in the
+// FM inner loop. The ordering is a strict total order except for repeated
+// pushes of the same vertex with equal gains, whose relative pop order is
+// irrelevant: stamp-based staleness makes all but the latest a no-op.
 type gainHeap []gainEntry
 
-func (g gainHeap) Len() int { return len(g) }
-func (g gainHeap) Less(i, j int) bool {
+func (g gainHeap) less(i, j int) bool {
 	if g[i].gain != g[j].gain {
 		return g[i].gain > g[j].gain
 	}
@@ -491,18 +516,64 @@ func (g gainHeap) Less(i, j int) bool {
 	}
 	return g[i].v < g[j].v
 }
-func (g gainHeap) Swap(i, j int)       { g[i], g[j] = g[j], g[i] }
-func (g *gainHeap) Push(x interface{}) { *g = append(*g, x.(gainEntry)) }
-func (g *gainHeap) Pop() interface{} {
-	n := len(*g) - 1
-	v := (*g)[n]
-	*g = (*g)[:n]
-	return v
+
+func (g gainHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !g.less(i, parent) {
+			break
+		}
+		g[i], g[parent] = g[parent], g[i]
+		i = parent
+	}
+}
+
+func (g gainHeap) siftDown(i int) {
+	n := len(g)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && g.less(r, l) {
+			m = r
+		}
+		if !g.less(m, i) {
+			return
+		}
+		g[i], g[m] = g[m], g[i]
+		i = m
+	}
+}
+
+func (g gainHeap) init() {
+	for i := len(g)/2 - 1; i >= 0; i-- {
+		g.siftDown(i)
+	}
+}
+
+func (g *gainHeap) push(e gainEntry) {
+	*g = append(*g, e)
+	g.siftUp(len(*g) - 1)
+}
+
+func (g *gainHeap) pop() gainEntry {
+	h := *g
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	*g = h
+	if n > 0 {
+		h.siftDown(0)
+	}
+	return top
 }
 
 // refine runs FM passes on part in place until a pass yields no
 // improvement or MaxPasses is hit.
-func refine(h *Hypergraph, part []int8, opt Options, rng *rand.Rand) {
+func refine(h *Hypergraph, part []int8, opt Options) {
 	inc := incidence(h)
 	totalArea := 0.0
 	for _, a := range h.Area {
@@ -517,7 +588,6 @@ func refine(h *Hypergraph, part []int8, opt Options, rng *rand.Rand) {
 			break
 		}
 	}
-	_ = rng
 }
 
 // fmPass performs one Fiduccia–Mattheyses pass; reports improvement.
@@ -568,7 +638,7 @@ func fmPass(h *Hypergraph, part []int8, inc [][]int32, lo, hi float64, lookAhead
 			pushV(int32(v))
 		}
 	}
-	heap.Init(&hp)
+	hp.init()
 
 	locked := make([]bool, n)
 	type mv struct {
@@ -586,12 +656,12 @@ func fmPass(h *Hypergraph, part []int8, inc [][]int32, lo, hi float64, lookAhead
 			if lookAhead {
 				tie = lookAheadGain(h, inc, cnt, part, v)
 			}
-			heap.Push(&hp, gainEntry{gain: gain[v], tie: tie, v: v, stamp: stamp[v]})
+			hp.push(gainEntry{gain: gain[v], tie: tie, v: v, stamp: stamp[v]})
 		}
 	}
 
-	for hp.Len() > 0 {
-		ent := heap.Pop(&hp).(gainEntry)
+	for len(hp) > 0 {
+		ent := hp.pop()
 		v := ent.v
 		if locked[v] || ent.stamp != stamp[v] {
 			continue

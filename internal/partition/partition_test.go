@@ -248,3 +248,26 @@ func TestAllFixed(t *testing.T) {
 		t.Errorf("cut = %g, want 2", res.Cut)
 	}
 }
+
+// TestWorkerInvariance requires Bipartition to return the exact same
+// partition whether the random restarts run serially or 8-wide: each
+// restart derives its own seed from the restart index and the winner is
+// picked by an ascending strict-< scan, so completion order can never
+// leak into the result.
+func TestWorkerInvariance(t *testing.T) {
+	h := twoClusters(50, 5, 77)
+	o1 := DefaultOptions(42)
+	o1.Workers = 1
+	o8 := DefaultOptions(42)
+	o8.Workers = 8
+	a := Bipartition(h, o1)
+	b := Bipartition(h, o8)
+	if a.Cut != b.Cut {
+		t.Fatalf("cut diverged across worker counts: %g vs %g", a.Cut, b.Cut)
+	}
+	for i := range a.Part {
+		if a.Part[i] != b.Part[i] {
+			t.Fatalf("partition diverged at vertex %d", i)
+		}
+	}
+}

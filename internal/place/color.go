@@ -1,0 +1,74 @@
+package place
+
+import "tps/internal/netlist"
+
+// conflictColors greedily colors work groups (reflow lanes, detailed-place
+// rows) so that no two groups coupled by a scored net — positive weight,
+// 2..maxPins pins — receive the same color. Two such groups must not run
+// concurrently: the evaluation of one reads, through its nets' pin
+// positions, coordinates the other writes. gateGroup maps gate ID to its
+// group (-1 for gates outside every group); groups is the group count.
+// Coloring is deterministic (ascending group index, first free color), so
+// the class schedule it induces is identical at every worker count.
+func conflictColors(nl *netlist.Netlist, gateGroup []int32, groups, maxPins int) ([]int, int) {
+	adj := make([]map[int32]bool, groups)
+	touched := make([]int32, 0, 8)
+	nl.Nets(func(n *netlist.Net) {
+		if n.Weight <= 0 {
+			return
+		}
+		pins := n.Pins()
+		if len(pins) < 2 || len(pins) > maxPins {
+			return
+		}
+		touched = touched[:0]
+		for _, q := range pins {
+			l := gateGroup[q.Gate.ID]
+			if l < 0 {
+				continue
+			}
+			dup := false
+			for _, t := range touched {
+				if t == l {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				touched = append(touched, l)
+			}
+		}
+		for a := 0; a < len(touched); a++ {
+			for b := a + 1; b < len(touched); b++ {
+				la, lb := touched[a], touched[b]
+				if adj[la] == nil {
+					adj[la] = make(map[int32]bool)
+				}
+				if adj[lb] == nil {
+					adj[lb] = make(map[int32]bool)
+				}
+				adj[la][lb] = true
+				adj[lb][la] = true
+			}
+		}
+	})
+	color := make([]int, groups)
+	ncolors := 1
+	for l := 0; l < groups; l++ {
+		used := make(map[int]bool, len(adj[l]))
+		for m := range adj[l] {
+			if int(m) < l {
+				used[color[m]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		color[l] = c
+		if c+1 > ncolors {
+			ncolors = c + 1
+		}
+	}
+	return color, ncolors
+}

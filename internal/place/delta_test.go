@@ -79,7 +79,7 @@ func TestWindowScorerCacheStaysFresh(t *testing.T) {
 	if len(win) < 4 {
 		t.Skip("design row too sparse for a window")
 	}
-	sc := newWindowScorer(win, false)
+	sc := newWindowScorer(win, DefaultDetailedOptions())
 	rng := rand.New(rand.NewSource(17))
 
 	verify := func(ctx string) {

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"tps/internal/netlist"
+	"tps/internal/par"
 	"tps/internal/steiner"
 )
 
@@ -134,6 +135,19 @@ type DetailedOptions struct {
 	MaxPermute int
 	// Passes over the whole chip.
 	Passes int
+	// MaxScoreNetPins excludes nets with more pins from the window scorer
+	// (and therefore from the row conflict graph). Huge nets — clock and
+	// scan chains — span every row: their HPWL barely responds to a
+	// single-row swap, yet scoring them would both waste the delta scorer's
+	// advantage and serialize all rows. Zero-weight nets are likewise
+	// skipped (their contribution is exactly zero either way).
+	MaxScoreNetPins int
+	// Workers bounds how many non-conflicting rows optimize concurrently
+	// (default-objective path only; a custom score hook runs serially).
+	// Rows are colored so same-color rows share no scored net, color
+	// classes run in ascending order, and gate moves ride a netlist move
+	// batch — results are identical at any worker count.
+	Workers int
 	// fullRescore disables the per-net contribution cache and recomputes
 	// every affected net from scratch on both sides of each candidate
 	// move. It is the reference evaluator the equivalence tests compare
@@ -144,7 +158,7 @@ type DetailedOptions struct {
 
 // DefaultDetailedOptions mirrors the paper's description.
 func DefaultDetailedOptions() DetailedOptions {
-	return DetailedOptions{WindowSize: 20, MaxPermute: 3, Passes: 1}
+	return DetailedOptions{WindowSize: 20, MaxPermute: 3, Passes: 1, MaxScoreNetPins: 64}
 }
 
 // DetailedPlace is Algorithm DetailedPlaceOpt: a window slides across each
@@ -163,6 +177,9 @@ func DetailedPlace(nl *netlist.Netlist, st *steiner.Cache, chipW, chipH float64,
 	if opt.Passes < 1 {
 		opt.Passes = 1
 	}
+	if opt.MaxScoreNetPins < 2 {
+		opt.MaxScoreNetPins = 64
+	}
 	t := nl.Lib.Tech
 
 	rows := make(map[int][]*netlist.Gate)
@@ -180,21 +197,74 @@ func DetailedPlace(nl *netlist.Netlist, st *steiner.Cache, chipW, chipH float64,
 	}
 	sort.Ints(rowIDs)
 
-	accepted := 0
-	for pass := 0; pass < opt.Passes; pass++ {
-		for _, r := range rowIDs {
-			row := rows[r]
-			for start := 0; start < len(row); start += opt.WindowSize / 2 {
-				end := start + opt.WindowSize
-				if end > len(row) {
-					end = len(row)
-				}
-				accepted += optimizeWindow(nl, st, row[start:end], opt, score)
-				if end == len(row) {
-					break
-				}
+	runRow := func(row []*netlist.Gate) int {
+		acc := 0
+		for start := 0; start < len(row); start += opt.WindowSize / 2 {
+			end := start + opt.WindowSize
+			if end > len(row) {
+				end = len(row)
+			}
+			acc += optimizeWindow(nl, st, row[start:end], opt, score)
+			if end == len(row) {
+				break
 			}
 		}
+		return acc
+	}
+
+	accepted := 0
+	if score != nil {
+		// Custom-objective path: the hook may query analyzers, which need
+		// to hear every move as it happens — serial, no batch.
+		for pass := 0; pass < opt.Passes; pass++ {
+			for _, r := range rowIDs {
+				accepted += runRow(rows[r])
+			}
+		}
+		return accepted
+	}
+
+	// Default-objective path: swaps stay within their row, so rows are the
+	// parallel unit. Rows coupled by a scored net must not run together
+	// (one's scorer reads positions the other writes); color the conflict
+	// graph and run each color class's rows concurrently, classes in
+	// ascending order. Gates never change rows, so one coloring serves all
+	// passes. The move batch defers observer notification to a single
+	// ID-ordered replay, identical at every worker count.
+	gateRow := make([]int32, nl.GateCap())
+	for i := range gateRow {
+		gateRow[i] = -1
+	}
+	for k, r := range rowIDs {
+		for _, g := range rows[r] {
+			gateRow[g.ID] = int32(k)
+		}
+	}
+	color, ncolors := conflictColors(nl, gateRow, len(rowIDs), opt.MaxScoreNetPins)
+	classes := make([][]int, ncolors)
+	for k := range rowIDs {
+		c := color[k]
+		classes[c] = append(classes[c], k)
+	}
+
+	w := opt.Workers
+	if w < 1 {
+		w = 1
+	}
+	rowAcc := make([]int, len(rowIDs))
+	nl.BeginMoveBatch()
+	for pass := 0; pass < opt.Passes; pass++ {
+		for _, class := range classes {
+			class := class
+			par.ForEach(w, len(class), func(kk int) {
+				k := class[kk]
+				rowAcc[k] += runRow(rows[rowIDs[k]])
+			})
+		}
+	}
+	nl.EndMoveBatch()
+	for _, a := range rowAcc {
+		accepted += a
 	}
 	return accepted
 }
@@ -221,17 +291,24 @@ type windowScorer struct {
 	fresh    bool // reference mode: ignore the cache on the before side
 }
 
-func newWindowScorer(win []*netlist.Gate, fullRescore bool) *windowScorer {
+func newWindowScorer(win []*netlist.Gate, opt DetailedOptions) *windowScorer {
 	s := &windowScorer{
 		gateNets: make(map[int][]int32, len(win)),
-		fresh:    fullRescore,
+		fresh:    opt.fullRescore,
+	}
+	maxPins := opt.MaxScoreNetPins
+	if maxPins < 2 {
+		maxPins = 64
 	}
 	seen := map[int]int32{} // net ID → index into s.nets
 	for _, g := range win {
 		var idxs []int32
 		for _, p := range g.Pins {
 			n := p.Net
-			if n == nil {
+			if n == nil || n.Weight <= 0 {
+				continue
+			}
+			if np := len(n.Pins()); np < 2 || np > maxPins {
 				continue
 			}
 			idx, ok := seen[n.ID]
@@ -387,7 +464,7 @@ func optimizeWindow(nl *netlist.Netlist, st *steiner.Cache, win []*netlist.Gate,
 	if score != nil {
 		return optimizeWindowHook(nl, win, opt, score)
 	}
-	sc := newWindowScorer(win, opt.fullRescore)
+	sc := newWindowScorer(win, opt)
 
 	accepted := 0
 	improved := true

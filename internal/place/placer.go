@@ -12,6 +12,7 @@ import (
 
 	"tps/internal/image"
 	"tps/internal/netlist"
+	"tps/internal/par"
 	"tps/internal/partition"
 	"tps/internal/steiner"
 )
@@ -29,8 +30,19 @@ type Placer struct {
 	MaxNetPins int
 	// Tolerance is the per-cut area balance tolerance.
 	Tolerance float64
+	// Workers bounds the transform execution parallelism (quadrisection
+	// cells, partitioner multi-starts, reflow lanes). Results are
+	// bit-identical at any value; <=1 runs serially.
+	Workers int
 
 	initialized bool
+}
+
+func (p *Placer) workers() int {
+	if p.Workers < 1 {
+		return 1
+	}
+	return p.Workers
 }
 
 // New creates a placer. The image must be at level 0 (fresh).
@@ -106,15 +118,44 @@ func (p *Placer) cut() bool {
 		groups[iy*oldNX+ix] = append(groups[iy*oldNX+ix], g)
 	})
 
+	var work []int
 	for ci, gates := range groups {
-		if len(gates) == 0 {
-			continue
+		if len(gates) > 0 {
+			work = append(work, ci)
 		}
+	}
+	// Fork-join over spatially independent cells: each worker computes its
+	// cell's moves against the frozen pre-cut positions (no MoveGate during
+	// the fan-out), then the moves commit serially in cell order. Freezing
+	// makes every cell's cut decisions independent of execution order, so
+	// results are bit-identical at any worker count. When a single cell
+	// holds all the work (the first cuts), parallelism is pushed down into
+	// the partitioner's multi-starts instead.
+	w := p.workers()
+	innerW := 1
+	if len(work) == 1 {
+		innerW = w
+	}
+	moves := make([][]gateMove, len(work))
+	par.ForEach(w, len(work), func(k int) {
+		ci := work[k]
 		ix, iy := ci%oldNX, ci/oldNX
 		x0, y0 := float64(ix)*oldBW, float64(iy)*oldBH
-		p.quadrisect(gates, x0, y0, oldBW, oldBH, int64(ci))
+		moves[k] = p.quadrisect(groups[ci], x0, y0, oldBW, oldBH, int64(ci), innerW)
+	})
+	for _, ms := range moves {
+		for _, m := range ms {
+			p.NL.MoveGate(m.g, m.x, m.y)
+		}
 	}
 	return true
+}
+
+// gateMove is a deferred MoveGate: transforms compute moves against frozen
+// positions during a parallel fan-out and commit them serially afterwards.
+type gateMove struct {
+	g    *netlist.Gate
+	x, y float64
 }
 
 // splitMix64 is the SplitMix64 finalizer: a bijective avalanche mix in
@@ -143,8 +184,13 @@ func deriveSeed(root int64, path ...int64) int64 {
 	return int64(h)
 }
 
-// quadrisect splits one window's gates into its four children.
-func (p *Placer) quadrisect(gates []*netlist.Gate, x0, y0, w, h float64, salt int64) {
+// quadrisect splits one window's gates into its four children and returns
+// the resulting moves without applying them. The x-split reads only x
+// coordinates and the y-splits read only y coordinates, so deferring the
+// commits changes nothing within the window; across windows it pins every
+// cut decision to the frozen pre-cut state, which is what lets sibling
+// windows evaluate concurrently.
+func (p *Placer) quadrisect(gates []*netlist.Gate, x0, y0, w, h float64, salt int64, workers int) []gateMove {
 	xm := x0 + w/2
 	ym := y0 + h/2
 	lvl := int64(p.Im.Level)
@@ -152,18 +198,17 @@ func (p *Placer) quadrisect(gates []*netlist.Gate, x0, y0, w, h float64, salt in
 	// Stage 1: x-split. Capacity-proportional target from the child bins.
 	capL := p.halfCap(x0, y0, w/2, h)
 	capR := p.halfCap(xm, y0, w/2, h)
-	left, right := p.bisect(gates, axisX, xm, frac(capL, capR), p.Tolerance, deriveSeed(p.Seed, salt, lvl, 0))
-	for _, g := range left {
-		p.NL.MoveGate(g, x0+w/4, g.Y)
-	}
-	for _, g := range right {
-		p.NL.MoveGate(g, xm+w/4, g.Y)
-	}
+	left, right := p.bisect(gates, axisX, xm, frac(capL, capR), p.Tolerance, deriveSeed(p.Seed, salt, lvl, 0), workers)
+	newX := [2]float64{x0 + w/4, xm + w/4}
 
-	// Stage 2: y-split of each half.
-	for hi, half := range [][]*netlist.Gate{left, right} {
+	// Stage 2: y-split of each half. The halves are independent (each reads
+	// only y coordinates, which stage 1 never assigns), so they fork too.
+	var halfMoves [2][]gateMove
+	halves := [2][]*netlist.Gate{left, right}
+	par.ForEach(minInt(workers, 2), 2, func(hi int) {
+		half := halves[hi]
 		if len(half) == 0 {
-			continue
+			return
 		}
 		hx := x0
 		if hi == 1 {
@@ -171,14 +216,21 @@ func (p *Placer) quadrisect(gates []*netlist.Gate, x0, y0, w, h float64, salt in
 		}
 		capB := p.halfCap(hx, y0, w/2, h/2)
 		capT := p.halfCap(hx, ym, w/2, h/2)
-		bot, top := p.bisect(half, axisY, ym, frac(capB, capT), p.Tolerance, deriveSeed(p.Seed, salt, lvl, int64(hi)+1))
+		hw := workers / 2
+		if hw < 1 {
+			hw = 1
+		}
+		bot, top := p.bisect(half, axisY, ym, frac(capB, capT), p.Tolerance, deriveSeed(p.Seed, salt, lvl, int64(hi)+1), hw)
+		ms := make([]gateMove, 0, len(half))
 		for _, g := range bot {
-			p.NL.MoveGate(g, g.X, y0+h/4)
+			ms = append(ms, gateMove{g, newX[hi], y0 + h/4})
 		}
 		for _, g := range top {
-			p.NL.MoveGate(g, g.X, ym+h/4)
+			ms = append(ms, gateMove{g, newX[hi], ym + h/4})
 		}
-	}
+		halfMoves[hi] = ms
+	})
+	return append(halfMoves[0], halfMoves[1]...)
 }
 
 // halfCap sums child-bin capacity over a rectangle (current image level).
@@ -208,7 +260,7 @@ const (
 // projecting every external pin of every touched net onto a fixed terminal
 // vertex on its geometric side. This is the paper's terminal projection:
 // the whole netlist and all placement locations are visible natively.
-func (p *Placer) bisect(gates []*netlist.Gate, ax axis, cut float64, targetFrac, tol float64, seed int64) (side0, side1 []*netlist.Gate) {
+func (p *Placer) bisect(gates []*netlist.Gate, ax axis, cut float64, targetFrac, tol float64, seed int64, workers int) (side0, side1 []*netlist.Gate) {
 	if len(gates) == 1 {
 		// Trivial: place by capacity-weighted coin — deterministic side
 		// with more room; cut cost is equal either way only if no nets,
@@ -281,6 +333,7 @@ func (p *Placer) bisect(gates []*netlist.Gate, ax axis, cut float64, targetFrac,
 	opt := partition.DefaultOptions(seed)
 	opt.TargetFrac = targetFrac
 	opt.Tolerance = tol
+	opt.Workers = workers
 	res := partition.Bipartition(h, opt)
 	for i, g := range gates {
 		if res.Part[i] == 0 {
@@ -293,15 +346,23 @@ func (p *Placer) bisect(gates []*netlist.Gate, ax axis, cut float64, targetFrac,
 }
 
 // pullSide returns the side (0/1) whose connected-pin centroid is closer
-// for a single gate.
+// for a single gate. It sees the same nets the bisection hypergraph does
+// (positive weight, at most MaxNetPins pins): huge and zero-weight nets
+// carry no cut signal, and excluding them here keeps every partitioning
+// decision — and therefore the reflow lane conflict graph — a function of
+// scored nets only.
 func (p *Placer) pullSide(g *netlist.Gate, ax axis, cut float64) int {
 	var sum float64
 	var n int
 	for _, pin := range g.Pins {
-		if pin.Net == nil {
+		if pin.Net == nil || pin.Net.Weight <= 0 {
 			continue
 		}
-		for _, q := range pin.Net.Pins() {
+		pins := pin.Net.Pins()
+		if len(pins) > p.MaxNetPins {
+			continue
+		}
+		for _, q := range pins {
 			if q.Gate == g {
 				continue
 			}
@@ -416,7 +477,7 @@ func (p *Placer) reflowSweep(ax axis) {
 		}
 		// Stage ids 3/4 keep reflow sweeps disjoint from the quadrisect
 		// stages 0–2 in the derivation path space.
-		s0, s1 := p.bisect(merged, ax, cut, target, tol, deriveSeed(p.Seed, int64(a), int64(p.Im.Level), 3+int64(ax)))
+		s0, s1 := p.bisect(merged, ax, cut, target, tol, deriveSeed(p.Seed, int64(a), int64(p.Im.Level), 3+int64(ax)), 1)
 		// Reposition to the two cell centers.
 		for _, g := range s0 {
 			cx, cy := p.cellCenter(a)
@@ -429,19 +490,65 @@ func (p *Placer) reflowSweep(ax axis) {
 		cells[a], cells[b] = s0, s1
 	}
 
-	if ax == axisX {
-		for j := 0; j < ny; j++ {
-			for i := 0; i+1 < nx; i++ {
-				sweep(i, j)
-			}
+	// A sweep's windows chain along the sweep direction (adjacent windows
+	// share a cell), so each row (x-sweep) or column (y-sweep) is one
+	// serial lane. Lanes themselves only interact through scored nets that
+	// couple gates of two lanes: color the lane conflict graph and run each
+	// color class's lanes concurrently, classes in ascending order. A move
+	// batch defers observer notification to a single ID-ordered replay, so
+	// the analyzers hear the same schedule at every worker count — and
+	// lanes within a class read and write disjoint gates, keeping the
+	// fan-out race-free and the outcome identical to the 1-worker run.
+	lanes := ny
+	if ax == axisY {
+		lanes = nx
+	}
+	gateLane := make([]int32, p.NL.GateCap())
+	for i := range gateLane {
+		gateLane[i] = -1
+	}
+	for ci, gs := range cells {
+		l := ci / nx
+		if ax == axisY {
+			l = ci % nx
 		}
-	} else {
-		for i := 0; i < nx; i++ {
+		for _, g := range gs {
+			gateLane[g.ID] = int32(l)
+		}
+	}
+	color, ncolors := conflictColors(p.NL, gateLane, lanes, p.MaxNetPins)
+
+	runLane := func(l int) {
+		if ax == axisX {
+			for i := 0; i+1 < nx; i++ {
+				sweep(i, l)
+			}
+		} else {
 			for j := 0; j+1 < ny; j++ {
-				sweep(i, j)
+				sweep(l, j)
 			}
 		}
 	}
+
+	w := p.workers()
+	p.NL.BeginMoveBatch()
+	for c := 0; c < ncolors; c++ {
+		var class []int
+		for l := 0; l < lanes; l++ {
+			if color[l] == c {
+				class = append(class, l)
+			}
+		}
+		par.ForEach(w, len(class), func(k int) { runLane(class[k]) })
+	}
+	p.NL.EndMoveBatch()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func (p *Placer) cellCenter(flat int) (float64, float64) {

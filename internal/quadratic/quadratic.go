@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"tps/internal/netlist"
+	"tps/internal/par"
 )
 
 // Options tunes Place.
@@ -25,11 +26,26 @@ type Options struct {
 	CliqueLimit int
 	// MinRegion stops spreading when a region holds this few cells.
 	MinRegion int
+	// Seed salts the deterministic jitter that separates coincident cells
+	// during spreading.
+	Seed int64
+	// Workers bounds the parallelism of the CG solves (SpMV rows and
+	// pairwise dot-product reductions) and the spreading recursion. All
+	// float64 reductions use a fixed-topology pairwise summation, so
+	// results are bit-identical at any value; <=1 runs serially.
+	Workers int
 }
 
 // DefaultOptions returns production-ish defaults.
 func DefaultOptions() Options {
 	return Options{CGIters: 300, CGTol: 1e-6, CliqueLimit: 6, MinRegion: 4}
+}
+
+func (o Options) workers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 // Place computes locations for all movable gates of nl inside the
@@ -136,8 +152,23 @@ func Place(nl *netlist.Netlist, chipW, chipH float64, opt Options) {
 		by[i] += anchorEps * chipH / 2
 	}
 
-	xs := solveCG(diag, adj, bx, opt)
-	ys := solveCG(diag, adj, by, opt)
+	// The two axis solves share only read-only state; fork them and split
+	// the worker budget. Each solve's result is worker-count-invariant, so
+	// the fork itself cannot perturb anything.
+	axW := opt.workers() / 2
+	if axW < 1 {
+		axW = 1
+	}
+	var xs, ys []float64
+	par.ForEach(minInt(opt.workers(), 2), 2, func(axis int) {
+		axOpt := opt
+		axOpt.Workers = axW
+		if axis == 0 {
+			xs = solveCG(diag, adj, bx, axOpt)
+		} else {
+			ys = solveCG(diag, adj, by, axOpt)
+		}
+	})
 
 	for i, g := range movable {
 		x := clamp(xs[i], 0, chipW)
@@ -155,8 +186,13 @@ type edge struct {
 }
 
 // solveCG solves L·v = b with Jacobi-preconditioned conjugate gradient.
+// SpMV and vector updates fan out over row ranges (disjoint writes) and
+// every dot product runs through par.BlockSums' fixed-topology pairwise
+// summation — the same discipline steiner.Cache uses — so the returned
+// solution is a bit-exact match of the 1-worker solve at any worker count.
 func solveCG(diag []float64, adj [][]edge, b []float64, opt Options) []float64 {
 	dim := len(diag)
+	w := opt.workers()
 	x := make([]float64, dim)
 	r := make([]float64, dim)
 	z := make([]float64, dim)
@@ -164,57 +200,74 @@ func solveCG(diag []float64, adj [][]edge, b []float64, opt Options) []float64 {
 	ap := make([]float64, dim)
 
 	mul := func(v, out []float64) {
-		for i := 0; i < dim; i++ {
-			s := diag[i] * v[i]
-			for _, e := range adj[i] {
-				s -= e.w * v[e.j]
+		par.For(w, dim, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				s := diag[i] * v[i]
+				for _, e := range adj[i] {
+					s -= e.w * v[e.j]
+				}
+				out[i] = s
 			}
-			out[i] = s
-		}
+		})
 	}
 
 	// x0 = D⁻¹ b is a decent start.
-	for i := range x {
-		x[i] = b[i] / diag[i]
-	}
+	par.For(w, dim, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] = b[i] / diag[i]
+		}
+	})
 	mul(x, ap)
-	var rr, bb float64
-	for i := range r {
-		r[i] = b[i] - ap[i]
-		z[i] = r[i] / diag[i]
-		p[i] = z[i]
-		rr += r[i] * z[i]
-		bb += b[i] * b[i]
-	}
+	init := par.BlockSums(w, dim, 2, func(lo, hi int, partial []float64) {
+		var rr, bb float64
+		for i := lo; i < hi; i++ {
+			r[i] = b[i] - ap[i]
+			z[i] = r[i] / diag[i]
+			p[i] = z[i]
+			rr += r[i] * z[i]
+			bb += b[i] * b[i]
+		}
+		partial[0], partial[1] = rr, bb
+	})
+	rr, bb := init[0], init[1]
 	if bb == 0 {
 		return x
 	}
 	for it := 0; it < opt.CGIters; it++ {
 		mul(p, ap)
-		var pap float64
-		for i := range p {
-			pap += p[i] * ap[i]
-		}
+		pap := par.BlockSums(w, dim, 1, func(lo, hi int, partial []float64) {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += p[i] * ap[i]
+			}
+			partial[0] = s
+		})[0]
 		if pap <= 0 {
 			break
 		}
 		alpha := rr / pap
-		var rr2, rnorm float64
-		for i := range x {
-			x[i] += alpha * p[i]
-			r[i] -= alpha * ap[i]
-			z[i] = r[i] / diag[i]
-			rr2 += r[i] * z[i]
-			rnorm += r[i] * r[i]
-		}
+		upd := par.BlockSums(w, dim, 2, func(lo, hi int, partial []float64) {
+			var rr2, rnorm float64
+			for i := lo; i < hi; i++ {
+				x[i] += alpha * p[i]
+				r[i] -= alpha * ap[i]
+				z[i] = r[i] / diag[i]
+				rr2 += r[i] * z[i]
+				rnorm += r[i] * r[i]
+			}
+			partial[0], partial[1] = rr2, rnorm
+		})
+		rr2, rnorm := upd[0], upd[1]
 		if math.Sqrt(rnorm/bb) < opt.CGTol {
 			break
 		}
 		beta := rr2 / rr
 		rr = rr2
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
+		par.For(w, dim, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				p[i] = z[i] + beta*p[i]
+			}
+		})
 	}
 	return x
 }
@@ -223,8 +276,19 @@ func solveCG(diag []float64, adj [][]edge, b []float64, opt Options) []float64 {
 // solution: recursively split the cell set at the area median and assign
 // each half to the corresponding half of the region, preserving relative
 // order (a fractional-cut style spreading).
+// spawnAbove is the recursive-spawn cutoff: subproblems smaller than this
+// run inline rather than forking (the split bookkeeping would dominate).
+const spawnAbove = 256
+
 func spread(nl *netlist.Netlist, gates []*netlist.Gate, w, h float64, opt Options) {
 	t := nl.Lib.Tech
+	// The two halves of every split hold disjoint gate subslices and
+	// disjoint regions, so the recursion forks onto a bounded Group; each
+	// branch sorts and moves only its own gates and every random nudge is
+	// salted from (Seed, gate ID) rather than drawn from a stream, so the
+	// outcome is independent of which worker runs which branch. The move
+	// batch defers observer notification to one ID-ordered replay.
+	grp := par.NewGroup(opt.workers())
 	var rec func(gs []*netlist.Gate, x0, y0, x1, y1 float64, vertical bool, depth int)
 	rec = func(gs []*netlist.Gate, x0, y0, x1, y1 float64, vertical bool, depth int) {
 		if len(gs) <= opt.MinRegion || depth > 24 {
@@ -236,8 +300,8 @@ func spread(nl *netlist.Netlist, gates []*netlist.Gate, w, h float64, opt Option
 				y := clamp(g.Y, y0, y1)
 				k := [2]float64{x, y}
 				if c := seen[k]; c > 0 {
-					x = clamp(x+jitter(g.ID+c, x1-x0)*0.3, x0, x1)
-					y = clamp(y+jitter(g.ID*31+c, y1-y0)*0.3, y0, y1)
+					x = clamp(x+jitter(opt.Seed, g.ID, c, x1-x0)*0.3, x0, x1)
+					y = clamp(y+jitter(opt.Seed, g.ID*31, c, y1-y0)*0.3, y0, y1)
 				}
 				seen[k]++
 				nl.MoveGate(g, x, y)
@@ -265,25 +329,45 @@ func spread(nl *netlist.Netlist, gates []*netlist.Gate, w, h float64, opt Option
 		if splitIdx == 0 || splitIdx == len(gs) {
 			splitIdx = len(gs) / 2
 		}
+		lo, hi := gs[:splitIdx], gs[splitIdx:]
+		spawn := func(gs []*netlist.Gate, x0, y0, x1, y1 float64) {
+			if len(gs) > spawnAbove {
+				grp.Spawn(func() { rec(gs, x0, y0, x1, y1, !vertical, depth+1) })
+			} else {
+				rec(gs, x0, y0, x1, y1, !vertical, depth+1)
+			}
+		}
 		if vertical {
 			xm := (x0 + x1) / 2
-			rec(gs[:splitIdx], x0, y0, xm, y1, !vertical, depth+1)
-			rec(gs[splitIdx:], xm, y0, x1, y1, !vertical, depth+1)
+			spawn(lo, x0, y0, xm, y1)
+			spawn(hi, xm, y0, x1, y1)
 		} else {
 			ym := (y0 + y1) / 2
-			rec(gs[:splitIdx], x0, y0, x1, ym, !vertical, depth+1)
-			rec(gs[splitIdx:], x0, ym, x1, y1, !vertical, depth+1)
+			spawn(lo, x0, y0, x1, ym)
+			spawn(hi, x0, ym, x1, y1)
 		}
 	}
 	gs := append([]*netlist.Gate(nil), gates...)
+	nl.BeginMoveBatch()
 	rec(gs, 0, 0, w, h, true, 0)
+	grp.Wait()
+	nl.EndMoveBatch()
 }
 
-// jitter derives a small deterministic offset from an id, spreading
-// coincident cells inside their final region.
-func jitter(id int, span float64) float64 {
-	u := float64((id*2654435761)&0xffff)/65535 - 0.5
+// jitter derives a small deterministic offset for coincidence breaking,
+// salted through the SplitMix64 seed derivation so the value depends only
+// on (seed, id, collision count) — never on which worker placed the
+// neighboring regions or in what order.
+func jitter(seed int64, id, c int, span float64) float64 {
+	u := float64(uint64(par.DeriveSeed(seed, int64(id), int64(c)))&0xffff)/65535 - 0.5
 	return u * span * 0.8
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func clamp(v, lo, hi float64) float64 {

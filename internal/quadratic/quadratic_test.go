@@ -149,3 +149,28 @@ func TestEmptyDesign(t *testing.T) {
 	nl := netlist.New("e", cell.Default())
 	Place(nl, 100, 100, DefaultOptions()) // no movables: no panic
 }
+
+// TestWorkerInvariance requires the quadratic solve — parallel CG with
+// pairwise-summed reductions plus the forked recursive spread — to land
+// every gate on bit-identical coordinates at any worker count.
+func TestWorkerInvariance(t *testing.T) {
+	run := func(w int) (xs, ys []float64) {
+		d := gen.Generate(cell.Default(), gen.Params{NumGates: 250, Levels: 6, Seed: 26})
+		opt := DefaultOptions()
+		opt.Workers = w
+		Place(d.NL, d.ChipW, d.ChipH, opt)
+		d.NL.Gates(func(g *netlist.Gate) {
+			xs = append(xs, g.X)
+			ys = append(ys, g.Y)
+		})
+		return xs, ys
+	}
+	x1, y1 := run(1)
+	x8, y8 := run(8)
+	for i := range x1 {
+		if x1[i] != x8[i] || y1[i] != y8[i] {
+			t.Fatalf("gate %d diverged across worker counts: (%v,%v) vs (%v,%v)",
+				i, x1[i], y1[i], x8[i], y8[i])
+		}
+	}
+}

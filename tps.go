@@ -20,6 +20,7 @@ package tps
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"tps/internal/cell"
 	"tps/internal/clockscan"
@@ -159,6 +160,10 @@ func (d *Design) Congestion() CongestionReport { return d.ctx.Cong.Analyze() }
 
 // Stats returns the incremental analyzers' dirty-set and pass counters.
 func (d *Design) Stats() AnalyzerStats { return d.ctx.AnalyzerStats() }
+
+// PhaseTimes returns the per-transform wall clock accumulated by the last
+// flow run (map key → duration; see core.Context.PhaseTimes).
+func (d *Design) PhaseTimes() map[string]time.Duration { return d.ctx.PhaseTimes }
 
 // ClockWireLength returns the total clock-net wire length in µm.
 func (d *Design) ClockWireLength() float64 { return clockscan.ClockNetLength(d.ctx.NL) }
