@@ -7,6 +7,8 @@
 //	tpsflow -flow spr -in design.tpn
 //	tpsflow -flow tps -gates 2000 -out placed.tpn
 //	tpsflow -flow tps -des 3 -scale 1.0 -workers 8 -cpuprofile cpu.pprof
+//	tpsflow -scenario custom.tps -gates 2000 -trace run.jsonl
+//	tpsflow -list-transforms
 package main
 
 import (
@@ -34,8 +36,22 @@ func main() {
 	compare := flag.Bool("compare", false, "rerun the flow at workers=1 on an identical design and print per-transform speedups (generated designs only)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the flow to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (post-flow) to this file")
+	scenarioFile := flag.String("scenario", "", "run this scenario script instead of the built-in flows")
+	traceFile := flag.String("trace", "", "write the engine's structured trace as JSONL to this file")
+	listTransforms := flag.Bool("list-transforms", false, "list the registered transforms and exit")
 	verbose := flag.Bool("v", false, "print flow progress")
 	flag.Parse()
+
+	if *listTransforms {
+		for _, tr := range tps.ListTransforms() {
+			kind := ""
+			if tr.Structural {
+				kind = " [structural]"
+			}
+			fmt.Printf("%-18s %-14s %s%s\n", tr.Name, tr.Window, tr.Doc, kind)
+		}
+		return
+	}
 
 	makeDesign := func() *tps.Design {
 		switch {
@@ -85,11 +101,26 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		d.SetTrace(tps.NewJSONLTracer(f))
+	}
+
 	var m tps.Metrics
-	switch *flow {
-	case "tps":
+	switch {
+	case *scenarioFile != "":
+		var err error
+		m, err = runScenarioFile(d, *scenarioFile)
+		if err != nil {
+			fatal(err)
+		}
+	case *flow == "tps":
 		m = d.RunTPS(tps.DefaultTPSOptions())
-	case "spr":
+	case *flow == "spr":
 		m = d.RunSPR(tps.DefaultSPROptions())
 	default:
 		fatal(fmt.Errorf("unknown flow %q (want tps or spr)", *flow))
@@ -102,6 +133,9 @@ func main() {
 	fmt.Printf("     congestion: Horiz %.0f/%.0f Vert %.0f/%.0f (pk/avg wires cut)\n",
 		m.HorizPeak, m.HorizAvg, m.VertPeak, m.VertAvg)
 	fmt.Printf("     cpu=%.1fs iterations=%d\n", m.CPUSeconds, m.Iterations)
+	if ctx := d.Context(); ctx.Accepts+ctx.Rejects > 0 {
+		fmt.Printf("     protected steps: %d accepted, %d rejected\n", ctx.Accepts, ctx.Rejects)
+	}
 	st := d.Stats()
 	fmt.Printf("     analyzers: steiner rebuilds=%d, congestion passes full=%d incremental=%d, timing recomputes=%d\n",
 		st.SteinerRebuilds, st.CongestionFullPasses, st.CongestionIncrementalPasses, st.TimingRecomputes)
@@ -111,10 +145,16 @@ func main() {
 		ref := makeDesign()
 		ref.SetWorkers(1)
 		var mr tps.Metrics
-		switch *flow {
-		case "tps":
+		switch {
+		case *scenarioFile != "":
+			var err error
+			mr, err = runScenarioFile(ref, *scenarioFile)
+			if err != nil {
+				fatal(err)
+			}
+		case *flow == "tps":
 			mr = ref.RunTPS(tps.DefaultTPSOptions())
-		case "spr":
+		case *flow == "spr":
 			mr = ref.RunSPR(tps.DefaultSPROptions())
 		}
 		same := m.WorstSlack == mr.WorstSlack && m.TNS == mr.TNS &&
@@ -176,6 +216,21 @@ func printPhases(pt, ref map[string]time.Duration) {
 		}
 	}
 	fmt.Println()
+}
+
+// runScenarioFile loads a scenario script from disk and executes it —
+// the -scenario code path.
+func runScenarioFile(d *tps.Design, path string) (tps.Metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return tps.Metrics{}, err
+	}
+	s, err := tps.LoadScenario(f)
+	f.Close()
+	if err != nil {
+		return tps.Metrics{}, err
+	}
+	return d.RunScenario(s)
 }
 
 func fatal(err error) {

@@ -1,0 +1,68 @@
+# Congestion-first variant of the paper's Figure 5 flow.
+#
+# The built-in TPS scenario treats congestion relief as a late cleanup.
+# This script moves routability to the front of every status advance:
+# hot spots are decongested and overfull bins relieved BEFORE synthesis
+# gets to restructure logic, and the aggressive timing transforms are
+# wrapped in `protect` so any restructuring that regresses total wire
+# is checkpointed, measured, and rolled back.
+#
+# Run it with:
+#
+#	tpsflow -scenario examples/scenario/congestion_first.tps -gates 1500 -trace trace.jsonl
+#
+# or `go run ./examples/scenario`.
+
+scenario congestion-first
+set step 5
+set budget 16
+set objective wire
+set weight_mode incremental
+set weight_le 1
+set weight_marginfrac 0.06
+set synth_marginfrac 0.08
+
+init {
+  mode m=gain
+  assign_gains gain=4
+}
+
+status {
+  partition reflow=1
+  trackbin
+  weight
+  discretize cut=30 virtual=1
+
+  # Routability first: clear hot spots while the placement is coarse
+  # enough that moves are cheap.
+  decongest moves=64
+  relieve frac=0.4
+
+  size_area at 20..30 margin=50
+  size_speed at 30.. when mode=actual margin=60
+
+  # Timing restructuring is allowed, but only if it does not cost wire:
+  # each protected step runs against a checkpoint and is undone when
+  # total Steiner wire regresses (objective=wire, tol=0).
+  clone at 30..50 when mode=actual protect tol=0 maxsec=10
+  buffer at 30..50 when mode=actual protect tol=0 maxsec=10
+  pinswap at 50..
+
+  sync_placer
+  congest
+}
+
+final {
+  spread
+  bindim0
+  discretize_actual when mode!=actual
+  legalize
+  detailed
+  sync
+  size_speed budget=32 protect tol=0 maxsec=10
+  legalize
+  detailed
+  evaluate flow=cong1
+  route
+  remeasure
+}

@@ -1,0 +1,37 @@
+package clockscan
+
+import (
+	"fmt"
+
+	"tps/internal/scenario"
+)
+
+func init() {
+	scenario.Register(scenario.Transform{
+		Name: "clocksched", Doc: "apply the §4.5 clock/scan weight and size schedule for the current status",
+		Window: "every step", Structural: true,
+		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
+			sched := scenario.Actor(c, "clocksched", func() *Scheduler {
+				return NewScheduler(c.NL, c.Im, c.St)
+			})
+			sched.OnStatus(c.Status)
+			return scenario.Report{}, nil
+		},
+	})
+	scenario.Register(scenario.Transform{
+		Name: "clock_opt", Doc: "optimize the clock tree against the current placement",
+		Window: "final",
+		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
+			d := OptimizeClock(c.NL, c.Im)
+			return scenario.Report{Detail: fmt.Sprintf("%.0f", d)}, nil
+		},
+	})
+	scenario.Register(scenario.Transform{
+		Name: "scan_opt", Doc: "reorder the scan chain against the current placement",
+		Window: "final",
+		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
+			d := OptimizeScan(c.NL)
+			return scenario.Report{Detail: fmt.Sprintf("%.0f", d)}, nil
+		},
+	})
+}

@@ -1,10 +1,11 @@
-package congestion
+package congestion_test
 
 import (
 	"math"
 	"testing"
 
 	"tps/internal/cell"
+	"tps/internal/congestion"
 	"tps/internal/gen"
 	"tps/internal/image"
 	"tps/internal/netlist"
@@ -28,7 +29,7 @@ func TestSingleNetCrossings(t *testing.T) {
 	nl.MoveGate(g1, 50, 50)
 	nl.MoveGate(g2, 350, 50)
 	st := steiner.NewCache(nl)
-	r := Analyze(nl, st, im)
+	r := congestion.Analyze(nl, st, im)
 	if r.HorizPeak != 1 {
 		t.Errorf("horiz peak = %g, want 1", r.HorizPeak)
 	}
@@ -60,7 +61,7 @@ func TestLShapeCountsBothDirections(t *testing.T) {
 	nl.MoveGate(g1, 50, 50)
 	nl.MoveGate(g2, 350, 350)
 	st := steiner.NewCache(nl)
-	r := Analyze(nl, st, im)
+	r := congestion.Analyze(nl, st, im)
 	if r.HorizPeak == 0 || r.VertPeak == 0 {
 		t.Errorf("L-shape should cross both directions: H=%g V=%g", r.HorizPeak, r.VertPeak)
 	}
@@ -75,8 +76,8 @@ func TestAnalyzeIdempotent(t *testing.T) {
 	p := place.New(d.NL, im, 31)
 	p.Partition(100)
 	st := steiner.NewCache(d.NL)
-	r1 := Analyze(d.NL, st, im)
-	r2 := Analyze(d.NL, st, im) // must not accumulate
+	r1 := congestion.Analyze(d.NL, st, im)
+	r2 := congestion.Analyze(d.NL, st, im) // must not accumulate
 	if r1 != r2 {
 		t.Errorf("analyze not idempotent: %+v vs %+v", r1, r2)
 	}
@@ -98,13 +99,13 @@ func TestBetterPlacementLowerCongestion(t *testing.T) {
 		im.Subdivide()
 	}
 	st := steiner.NewCache(d.NL)
-	scatter := Analyze(d.NL, st, im)
+	scatter := congestion.Analyze(d.NL, st, im)
 
 	im2 := image.New(d.ChipW, d.ChipH, d.NL.Lib.Tech.RowHeight, 0.75)
 	p := place.New(d.NL, im2, 32)
 	p.Partition(100)
 	st2 := steiner.NewCache(d.NL)
-	placed := Analyze(d.NL, st2, im2)
+	placed := congestion.Analyze(d.NL, st2, im2)
 	if placed.TotalWireUm >= scatter.TotalWireUm {
 		t.Errorf("placed wire %g not below scatter %g", placed.TotalWireUm, scatter.TotalWireUm)
 	}
@@ -124,7 +125,7 @@ func TestZeroOnSingleBinGrid(t *testing.T) {
 	nl.MoveGate(g2, 90, 90)
 	im := image.New(100, 100, 6, 0.7) // level 0: single bin, no cut lines
 	st := steiner.NewCache(nl)
-	r := Analyze(nl, st, im)
+	r := congestion.Analyze(nl, st, im)
 	if r.HorizPeak != 0 || r.VertPeak != 0 {
 		t.Errorf("single-bin grid has crossings: %+v", r)
 	}

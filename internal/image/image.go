@@ -225,6 +225,32 @@ func (im *Image) ClearUsage() {
 	}
 }
 
+// SnapshotUsage copies the per-bin area/wire usage triplets (AreaUsed,
+// WireUsedH, WireUsedV). Together with the current level it lets the
+// scenario engine's checkpoint layer restore the image bit-exactly after
+// a rejected transform (which may have deposited speculative gate area).
+func (im *Image) SnapshotUsage() []float64 {
+	s := make([]float64, 0, 3*len(im.bins))
+	for i := range im.bins {
+		s = append(s, im.bins[i].AreaUsed, im.bins[i].WireUsedH, im.bins[i].WireUsedV)
+	}
+	return s
+}
+
+// RestoreUsage writes back a SnapshotUsage capture. It panics if the grid
+// has been refined since the snapshot (rollback across a Subdivide is not
+// supported; structural steps cannot be checkpointed).
+func (im *Image) RestoreUsage(s []float64) {
+	if len(s) != 3*len(im.bins) {
+		panic("image: RestoreUsage across a grid refinement")
+	}
+	for i := range im.bins {
+		im.bins[i].AreaUsed = s[3*i]
+		im.bins[i].WireUsedH = s[3*i+1]
+		im.bins[i].WireUsedV = s[3*i+2]
+	}
+}
+
 // Overfull returns flat indices of bins whose usage exceeds capacity by
 // more than slack (fraction of capacity, e.g. 0.0 for any overflow).
 func (im *Image) Overfull(slack float64) []int {

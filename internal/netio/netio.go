@@ -17,6 +17,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -79,6 +80,7 @@ func Read(r io.Reader, lib *cell.Library) (*gen.Design, error) {
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	d := &gen.Design{NL: netlist.New("design", lib)}
 	nets := map[string]*netlist.Net{}
+	gates := map[string]bool{}
 	lineNo := 0
 
 	for sc.Scan() {
@@ -99,6 +101,9 @@ func Read(r io.Reader, lib *cell.Library) (*gen.Design, error) {
 			if err != nil {
 				return nil, err
 			}
+			if math.IsNaN(v) || v < 0 {
+				return nil, fmt.Errorf("netio: line %d: period %g is not a valid constraint", lineNo, v)
+			}
 			d.Period = v
 		case "chip":
 			w, err := parseF(f, 1, lineNo, "chip")
@@ -108,6 +113,9 @@ func Read(r io.Reader, lib *cell.Library) (*gen.Design, error) {
 			h, err := parseF(f, 2, lineNo, "chip")
 			if err != nil {
 				return nil, err
+			}
+			if math.IsNaN(w) || math.IsNaN(h) || w < 0 || h < 0 {
+				return nil, fmt.Errorf("netio: line %d: chip dimensions %g×%g invalid", lineNo, w, h)
 			}
 			d.ChipW, d.ChipH = w, h
 		case "net":
@@ -130,6 +138,12 @@ func Read(r io.Reader, lib *cell.Library) (*gen.Design, error) {
 			}
 			nets[f[1]] = n
 		case "gate":
+			if len(f) >= 2 {
+				if gates[f[1]] {
+					return nil, fmt.Errorf("netio: line %d: duplicate gate %s", lineNo, f[1])
+				}
+				gates[f[1]] = true
+			}
 			if err := parseGate(d, nets, f, lineNo); err != nil {
 				return nil, err
 			}
@@ -191,7 +205,7 @@ func parseGate(d *gen.Design, nets map[string]*netlist.Net, f []string, line int
 			i++
 		case strings.HasPrefix(tok, "gain="):
 			v, err := strconv.ParseFloat(tok[len("gain="):], 64)
-			if err != nil {
+			if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
 				return fmt.Errorf("netio: line %d: bad gain %q", line, tok)
 			}
 			g.Gain = v
@@ -206,6 +220,9 @@ func parseGate(d *gen.Design, nets map[string]*netlist.Net, f []string, line int
 			}
 			if y, err = strconv.ParseFloat(f[i+2], 64); err != nil {
 				return fmt.Errorf("netio: line %d: bad y %q", line, f[i+2])
+			}
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) || x < 0 || y < 0 {
+				return fmt.Errorf("netio: line %d: coordinates (%g, %g) outside the chip frame", line, x, y)
 			}
 			placed = true
 			i += 3

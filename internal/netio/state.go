@@ -1,0 +1,170 @@
+package netio
+
+import (
+	"fmt"
+
+	"tps/internal/cell"
+	"tps/internal/netlist"
+)
+
+// State is an in-memory checkpoint of everything a transform may change on
+// a netlist: gate masters, sizes, gains, area scales, positions, flags,
+// pin→net bindings, net weights, and liveness tombstones. Unlike the .tpn
+// text form it is keyed by ID and captures transient optimization state,
+// so Restore can rewind the *same* netlist object in place — analyzers
+// stay subscribed and hear every reverse edit as a normal notification.
+//
+// The scenario engine snapshots a State before each protected step and
+// restores it when the step errors, times out, or regresses the objective.
+type State struct {
+	gates []gateState
+	nets  []netState
+}
+
+type gateState struct {
+	live      bool
+	cell      *cell.Cell
+	sizeIdx   int
+	gain      float64
+	areaScale float64
+	x, y      float64
+	placed    bool
+	fixed     bool
+	pinNets   []int // pin index (gate-local) → net ID, -1 = unattached
+}
+
+type netState struct {
+	live       bool
+	weight     float64
+	baseWeight float64
+	kind       netlist.NetKind
+}
+
+// Capture snapshots the full mutable state of nl.
+func Capture(nl *netlist.Netlist) *State {
+	s := &State{
+		gates: make([]gateState, nl.GateCap()),
+		nets:  make([]netState, nl.NetCap()),
+	}
+	nl.Gates(func(g *netlist.Gate) {
+		gs := gateState{
+			live: true, cell: g.Cell, sizeIdx: g.SizeIdx, gain: g.Gain,
+			areaScale: g.AreaScale, x: g.X, y: g.Y, placed: g.Placed,
+			fixed: g.Fixed, pinNets: make([]int, len(g.Pins)),
+		}
+		for i, p := range g.Pins {
+			if p.Net != nil {
+				gs.pinNets[i] = p.Net.ID
+			} else {
+				gs.pinNets[i] = -1
+			}
+		}
+		s.gates[g.ID] = gs
+	})
+	nl.Nets(func(n *netlist.Net) {
+		s.nets[n.ID] = netState{live: true, weight: n.Weight, baseWeight: n.BaseWeight, kind: n.Kind}
+	})
+	return s
+}
+
+// Restore rewinds nl to the captured state through the public mutation
+// API, so every observer (timing, Steiner, congestion, …) sees the
+// reverse edits and stays consistent. Gates and nets created after the
+// capture are removed; gates and nets removed after the capture are
+// revived. Restore cannot invent objects: it returns an error if the
+// capture references a gate or net ID the netlist no longer knows (which
+// cannot happen when the capture came from the same netlist, since
+// removal only tombstones).
+func (s *State) Restore(nl *netlist.Netlist) error {
+	// 1. Revive nets the transform removed, so reconnection targets exist,
+	//    and detach every pin whose binding changed (or whose gate dies).
+	for id, ns := range s.nets {
+		if !ns.live {
+			continue
+		}
+		n := nl.NetByID(id)
+		if n == nil {
+			if n = nl.RawNet(id); n == nil {
+				return fmt.Errorf("netio: restore: net %d vanished", id)
+			}
+			nl.ReviveNet(n)
+		}
+	}
+
+	// 2. Remove gates created after the capture (disconnects their pins),
+	//    revive gates removed after it, and detach changed pins.
+	nl.Gates(func(g *netlist.Gate) {
+		if g.ID >= len(s.gates) || !s.gates[g.ID].live {
+			nl.RemoveGate(g)
+		}
+	})
+	for id := range s.gates {
+		gs := &s.gates[id]
+		if !gs.live {
+			continue
+		}
+		g := nl.GateByID(id)
+		if g == nil {
+			if g = nl.RawGate(id); g == nil {
+				return fmt.Errorf("netio: restore: gate %d vanished", id)
+			}
+			nl.ReviveGate(g)
+		}
+		for i, p := range g.Pins {
+			want := gs.pinNets[i]
+			if p.Net != nil && p.Net.ID != want {
+				nl.Disconnect(p)
+			}
+		}
+	}
+
+	// 3. Reconnect pins and restore per-gate scalar state.
+	for id := range s.gates {
+		gs := &s.gates[id]
+		if !gs.live {
+			continue
+		}
+		g := nl.GateByID(id)
+		for i, p := range g.Pins {
+			want := gs.pinNets[i]
+			if want >= 0 && p.Net == nil {
+				n := nl.NetByID(want)
+				if n == nil {
+					return fmt.Errorf("netio: restore: gate %s pin %d needs missing net %d", g.Name, i, want)
+				}
+				nl.Connect(p, n)
+			}
+		}
+		if g.Cell != gs.cell {
+			nl.ReplaceCell(g, gs.cell, gs.sizeIdx)
+		} else if g.SizeIdx != gs.sizeIdx {
+			nl.SetSize(g, gs.sizeIdx)
+		}
+		nl.SetGain(g, gs.gain)
+		nl.SetAreaScale(g, gs.areaScale)
+		if g.X != gs.x || g.Y != gs.y || g.Placed != gs.placed {
+			nl.MoveGate(g, gs.x, gs.y)
+			g.Placed = gs.placed
+		}
+		g.Fixed = gs.fixed
+	}
+
+	// 4. Remove nets created after the capture (now guaranteed pinless,
+	//    since only restored pins reference restored nets) and put weights
+	//    and kinds back.
+	nl.Nets(func(n *netlist.Net) {
+		if n.ID >= len(s.nets) || !s.nets[n.ID].live {
+			nl.RemoveNet(n)
+		}
+	})
+	for id, ns := range s.nets {
+		if !ns.live {
+			continue
+		}
+		n := nl.NetByID(id)
+		nl.SetNetWeight(n, ns.weight)
+		n.BaseWeight = ns.baseWeight
+		n.Kind = ns.kind
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package netio
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"tps/internal/cell"
+	"tps/internal/gen"
+	"tps/internal/netlist"
+)
+
+func stateRig(t *testing.T, seed int64) *gen.Design {
+	t.Helper()
+	p := gen.Des(1, 0.02)
+	p.Seed = seed
+	return gen.Generate(cell.Default(), p)
+}
+
+// serialize renders the full restorable state: the netio text form plus
+// the transient weights/scales the text form deliberately omits.
+func serialize(t *testing.T, d *gen.Design) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := Write(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	d.NL.Nets(func(n *netlist.Net) {
+		fmt.Fprintf(&b, "w %s %g %g %d\n", n.Name, n.Weight, n.BaseWeight, n.Kind)
+	})
+	d.NL.Gates(func(g *netlist.Gate) {
+		fmt.Fprintf(&b, "s %s %g %g %v\n", g.Name, g.AreaScale, g.Gain, g.Fixed)
+	})
+	return b.String()
+}
+
+// perturb applies one of each mutation class a transform might make.
+func perturb(t *testing.T, nl *netlist.Netlist) {
+	t.Helper()
+	lib := nl.Lib
+	bufCell := lib.Cell("BUF")
+	if bufCell == nil {
+		t.Fatal("library has no BUF master")
+	}
+	var movable []*netlist.Gate
+	nl.Gates(func(g *netlist.Gate) {
+		if !g.IsPad() && !g.Fixed {
+			movable = append(movable, g)
+		}
+	})
+	if len(movable) < 8 {
+		t.Fatalf("rig too small: %d movable gates", len(movable))
+	}
+	// Moves, resizes, gain and scale changes.
+	nl.MoveGate(movable[0], 12, 34)
+	nl.SetSize(movable[1], 0)
+	nl.SetGain(movable[2], 2.5)
+	nl.SetAreaScale(movable[3], 1.5)
+	// Net weight change.
+	var someNet *netlist.Net
+	nl.Nets(func(n *netlist.Net) {
+		if someNet == nil && n.Kind == netlist.Signal && n.NumPins() > 1 {
+			someNet = n
+		}
+	})
+	nl.SetNetWeight(someNet, 3.75)
+	// Structural: splice a buffer into someNet's sinks (new gate + net).
+	drv := someNet.Driver()
+	if drv == nil {
+		t.Fatal("net has no driver")
+	}
+	nb := nl.AddNet("rollback_net")
+	gb := nl.AddGate("rollback_buf", bufCell)
+	nl.SetSize(gb, 0)
+	nl.MoveGate(gb, 50, 50)
+	sinks := someNet.Sinks(nil)
+	nl.MovePin(sinks[0], nb)
+	nl.Connect(gb.Input(0), someNet)
+	nl.Connect(gb.Output(), nb)
+	// Structural: delete a gate outright (a remap-style removal).
+	victim := movable[5]
+	for _, p := range victim.Pins {
+		nl.Disconnect(p)
+	}
+	nl.RemoveGate(victim)
+}
+
+func TestStateCaptureRestoreRoundTrip(t *testing.T) {
+	d := stateRig(t, 7)
+	nl := d.NL
+	want := serialize(t, d)
+	snap := Capture(nl)
+
+	perturb(t, nl)
+	if got := serialize(t, d); got == want {
+		t.Fatal("perturbation did not change the design")
+	}
+	if err := snap.Restore(nl); err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Check(); err != nil {
+		t.Fatalf("restored netlist inconsistent: %v", err)
+	}
+	if got := serialize(t, d); got != want {
+		t.Fatalf("state differs after restore:\n got %d bytes\nwant %d bytes", len(got), len(want))
+	}
+}
+
+func TestStateRestoreIsIdempotent(t *testing.T) {
+	d := stateRig(t, 8)
+	nl := d.NL
+	snap := Capture(nl)
+	want := serialize(t, d)
+	for i := 0; i < 2; i++ {
+		perturb(t, nl)
+		if err := snap.Restore(nl); err != nil {
+			t.Fatalf("restore %d: %v", i, err)
+		}
+		if got := serialize(t, d); got != want {
+			t.Fatalf("restore %d diverged", i)
+		}
+	}
+}
+
+func TestStateRestoreWithObservers(t *testing.T) {
+	// Restore must flow through the notification API: an observer counting
+	// events should hear the reverse edits.
+	d := stateRig(t, 9)
+	nl := d.NL
+	obs := &countObs{}
+	nl.Observe(obs)
+	snap := Capture(nl)
+	perturb(t, nl)
+	seen := obs.events
+	if err := snap.Restore(nl); err != nil {
+		t.Fatal(err)
+	}
+	if obs.events == seen {
+		t.Fatal("restore bypassed observer notifications")
+	}
+}
+
+type countObs struct{ events int }
+
+func (o *countObs) GateMoved(*netlist.Gate)   { o.events++ }
+func (o *countObs) GateResized(*netlist.Gate) { o.events++ }
+func (o *countObs) NetChanged(*netlist.Net)   { o.events++ }
+func (o *countObs) GateAdded(*netlist.Gate)   { o.events++ }
+func (o *countObs) GateRemoved(*netlist.Gate) { o.events++ }

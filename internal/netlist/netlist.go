@@ -350,6 +350,24 @@ func (nl *Netlist) GateByID(id int) *Gate {
 	return g
 }
 
+// RawGate returns the gate with the given id even when tombstoned, or
+// nil if the id was never issued. Checkpoint restore uses it to revive
+// gates a rejected transform removed.
+func (nl *Netlist) RawGate(id int) *Gate {
+	if id < 0 || id >= len(nl.gates) {
+		return nil
+	}
+	return nl.gates[id]
+}
+
+// RawNet returns the net with the given id even when tombstoned, or nil.
+func (nl *Netlist) RawNet(id int) *Net {
+	if id < 0 || id >= len(nl.nets) {
+		return nil
+	}
+	return nl.nets[id]
+}
+
 // NetByID returns the net with the given id, or nil.
 func (nl *Netlist) NetByID(id int) *Net {
 	if id < 0 || id >= len(nl.nets) {
@@ -463,6 +481,36 @@ func (nl *Netlist) RemoveGate(g *Gate) {
 	for _, o := range nl.observers {
 		o.GateRemoved(g)
 	}
+}
+
+// ReviveGate undoes a RemoveGate: the tombstoned gate becomes live again
+// with its original ID and pin objects (pins stay disconnected; the caller
+// reconnects them). Observers hear a GateAdded. The checkpoint/rollback
+// layer uses this to restore gates a rejected transform deleted.
+func (nl *Netlist) ReviveGate(g *Gate) {
+	nl.assertNoBatch("ReviveGate")
+	if !g.Removed {
+		return
+	}
+	g.Removed = false
+	nl.numGates++
+	nl.Edits++
+	for _, o := range nl.observers {
+		o.GateAdded(g)
+	}
+}
+
+// ReviveNet undoes a RemoveNet: the tombstoned net becomes live again with
+// its original ID and no pins. Observers hear a NetChanged so incremental
+// analyzers re-admit it.
+func (nl *Netlist) ReviveNet(n *Net) {
+	if !n.Removed {
+		return
+	}
+	n.Removed = false
+	nl.numNets++
+	nl.Edits++
+	nl.notifyNet(n)
 }
 
 // MoveGate relocates a gate and notifies observers. Inside a move batch

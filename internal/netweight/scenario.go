@@ -1,0 +1,30 @@
+package netweight
+
+import (
+	"tps/internal/scenario"
+)
+
+func init() {
+	scenario.Register(scenario.Transform{
+		Name: "weight", Doc: "recompute slack-driven net weights (params weight_mode, weight_le, weight_margin[frac])",
+		Window: "every step",
+		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
+			w := scenario.Actor(c, "weight", func() *Weighter {
+				mode := Incremental
+				if c.ParamStr("weight_mode", "incremental") == "absolute" {
+					mode = Absolute
+				}
+				w := New(c.NL, c.Eng, mode)
+				w.UseLogicalEffort = c.ParamBool("weight_le", w.UseLogicalEffort)
+				if c.HasParam("weight_marginfrac") {
+					w.Margin = c.ParamFloat("weight_marginfrac", 0) * c.Period
+				} else if c.HasParam("weight_margin") {
+					w.Margin = c.ParamFloat("weight_margin", w.Margin)
+				}
+				return w
+			})
+			n := w.Apply()
+			return scenario.Report{Changed: n}, nil
+		},
+	})
+}

@@ -1,0 +1,78 @@
+package place
+
+import (
+	"tps/internal/scenario"
+)
+
+// forScenario returns the per-run placer actor, constructed exactly as
+// the Figure 5 flow does.
+func forScenario(c *scenario.Context) *Placer {
+	return scenario.Actor(c, "placer", func() *Placer {
+		p := New(c.NL, c.Im, c.Seed)
+		p.Workers = c.Workers
+		return p
+	})
+}
+
+func init() {
+	scenario.Register(scenario.Transform{
+		Name: "partition", Doc: "refine the placement partition to the current status (reflow=0 to skip reflow)",
+		Window: "every step", Structural: true,
+		Guard: func(c *scenario.Context) bool {
+			// The bin grid refines only when the advancing status target
+			// passes the next level threshold; between thresholds the loop
+			// keeps transforming on the placement plateau.
+			return forScenario(c).Status() < c.Status
+		},
+		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
+			p := forScenario(c)
+			stop := c.Track("partition")
+			p.Partition(c.Status)
+			stop()
+			if a.Bool("reflow", true) {
+				stop = c.Track("reflow")
+				p.Reflow()
+				stop()
+			}
+			return scenario.Report{Changed: 1}, nil
+		},
+	})
+	scenario.Register(scenario.Transform{
+		Name: "spread", Doc: "spread gates from bin centers to distinct positions",
+		Window: "final", Structural: true,
+		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
+			forScenario(c).SpreadWithinBins()
+			return scenario.Report{Changed: 1}, nil
+		},
+	})
+	scenario.Register(scenario.Transform{
+		Name: "sync_placer", Doc: "re-deposit the placer's bin usage after synthesis edits",
+		Window: "every step", Structural: true,
+		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
+			forScenario(c).SyncImage()
+			return scenario.Report{}, nil
+		},
+	})
+	scenario.Register(scenario.Transform{
+		Name: "legalize", Doc: "snap gates to rows without overlap",
+		Window: "final",
+		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
+			stop := c.Track("legalize")
+			Legalize(c.NL, c.ChipW, c.ChipH)
+			stop()
+			return scenario.Report{Changed: 1}, nil
+		},
+	})
+	scenario.Register(scenario.Transform{
+		Name: "detailed", Doc: "detailed placement (swap/shift refinement)",
+		Window: "final",
+		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
+			dopt := DefaultDetailedOptions()
+			dopt.Workers = c.Workers
+			stop := c.Track("detailed")
+			DetailedPlace(c.NL, c.St, c.ChipW, c.ChipH, dopt, nil)
+			stop()
+			return scenario.Report{Changed: 1}, nil
+		},
+	})
+}

@@ -1,23 +1,23 @@
-package congestion
+package relocate
 
 import (
+	"tps/internal/congestion"
 	"tps/internal/image"
 	"tps/internal/netlist"
-	"tps/internal/relocate"
 	"tps/internal/steiner"
 	"tps/internal/timing"
 )
 
-// Relieve is the congestion-elimination transform sketched in §1: "a
+// RelieveCongestion is the congestion-elimination transform sketched in §1: "a
 // transform to eliminate wire congestion can do this … by moving cells".
 // Bins whose boundary wiring demand exceeds capacity shed non-critical
 // cells through the circuit-relocation utility — every cell that leaves
 // takes its incident wiring along, lowering the local crossing counts.
 // The timing engine (inside the relocator) keeps critical cells pinned.
 // Returns the number of cells moved.
-func Relieve(nl *netlist.Netlist, st *steiner.Cache, im *image.Image,
-	rel *relocate.Relocator, eng *timing.Engine, maxMoves int) int {
-	Analyze(nl, st, im) // refresh WireUsed on the bins
+func RelieveCongestion(nl *netlist.Netlist, st *steiner.Cache, im *image.Image,
+	rel *Relocator, eng *timing.Engine, maxMoves int) int {
+	congestion.Analyze(nl, st, im) // refresh WireUsed on the bins
 
 	type hot struct {
 		flat     int

@@ -1,20 +1,20 @@
-package congestion
+package relocate
 
 import (
 	"testing"
 
 	"tps/internal/cell"
+	"tps/internal/congestion"
 	"tps/internal/delay"
 	"tps/internal/image"
 	"tps/internal/netlist"
-	"tps/internal/relocate"
 	"tps/internal/steiner"
 	"tps/internal/timing"
 )
 
 // hotspotRig crams many connected cells into one bin so its boundary
 // wiring overflows.
-func hotspotRig(t *testing.T) (*netlist.Netlist, *steiner.Cache, *image.Image, *relocate.Relocator, *timing.Engine) {
+func hotspotRig(t *testing.T) (*netlist.Netlist, *steiner.Cache, *image.Image, *Relocator, *timing.Engine) {
 	t.Helper()
 	nl := netlist.New("hot", cell.Default())
 	lib := nl.Lib
@@ -51,21 +51,21 @@ func hotspotRig(t *testing.T) (*netlist.Netlist, *steiner.Cache, *image.Image, *
 	st := steiner.NewCache(nl)
 	calc := delay.NewCalculator(nl, st, delay.Actual)
 	eng := timing.New(nl, calc, 1e6)
-	rel := relocate.New(nl, eng, im)
+	rel := New(nl, eng, im)
 	return nl, st, im, rel, eng
 }
 
 func TestRelieveReducesOverflow(t *testing.T) {
 	nl, st, im, rel, eng := hotspotRig(t)
-	before := Analyze(nl, st, im)
+	before := congestion.Analyze(nl, st, im)
 	if before.OverflowEdges == 0 {
 		t.Fatal("setup error: no overflow to relieve")
 	}
-	moved := Relieve(nl, st, im, rel, eng, 0)
+	moved := RelieveCongestion(nl, st, im, rel, eng, 0)
 	if moved == 0 {
 		t.Fatal("no cells moved")
 	}
-	after := Analyze(nl, st, im)
+	after := congestion.Analyze(nl, st, im)
 	if after.OverflowEdges > before.OverflowEdges {
 		t.Errorf("overflow edges %d → %d", before.OverflowEdges, after.OverflowEdges)
 	}
@@ -85,15 +85,15 @@ func TestRelieveNoopWhenClean(t *testing.T) {
 	st := steiner.NewCache(nl)
 	calc := delay.NewCalculator(nl, st, delay.Actual)
 	eng := timing.New(nl, calc, 1e6)
-	rel := relocate.New(nl, eng, im)
-	if moved := Relieve(nl, st, im, rel, eng, 0); moved != 0 {
+	rel := New(nl, eng, im)
+	if moved := RelieveCongestion(nl, st, im, rel, eng, 0); moved != 0 {
 		t.Errorf("moved %d cells on a congestion-free design", moved)
 	}
 }
 
 func TestRelieveBoundedByMaxMoves(t *testing.T) {
 	nl, st, im, rel, eng := hotspotRig(t)
-	if moved := Relieve(nl, st, im, rel, eng, 3); moved > 8 {
+	if moved := RelieveCongestion(nl, st, im, rel, eng, 3); moved > 8 {
 		t.Errorf("maxMoves ignored: %d cells moved", moved)
 	}
 }

@@ -1,0 +1,38 @@
+package relocate
+
+import (
+	"tps/internal/scenario"
+)
+
+// ForScenario returns the per-run relocator actor. Exported so the synth
+// shim (whose optimizer embeds the same relocator) constructs an
+// identically-configured instance from the same cache slot.
+func ForScenario(c *scenario.Context) *Relocator {
+	return scenario.Actor(c, "relocate", func() *Relocator {
+		r := New(c.NL, c.Eng, c.Im)
+		r.SlackMargin = c.ParamFloat("relocate_slackmargin", 0)
+		return r
+	})
+}
+
+func init() {
+	scenario.Register(scenario.Transform{
+		Name: "relieve", Doc: "relocate gates out of overfull bins (frac=0.25)",
+		Window: "every step",
+		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
+			stop := c.Track("synthesis")
+			n := ForScenario(c).RelieveAll(a.Float("frac", 0.25))
+			stop()
+			return scenario.Report{Changed: n}, nil
+		},
+	})
+	scenario.Register(scenario.Transform{
+		Name: "decongest", Doc: "move low-slack gates away from congestion hot spots (moves=32)",
+		Window: "any",
+		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
+			n := RelieveCongestion(c.NL, c.St, c.Im, ForScenario(c), c.Eng, a.Int("moves", 32))
+			c.Logf("status %3d: congestion relocation moved %d", c.Status, n)
+			return scenario.Report{Changed: n}, nil
+		},
+	})
+}

@@ -1,0 +1,226 @@
+package scenario
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Report is what a transform body returns: how many changes it made and
+// an optional human-readable detail for the trace.
+type Report struct {
+	Changed int
+	Detail  string
+}
+
+// Transform is a registered flow building block. Transform packages
+// register one per operation (place registers "partition", sizing
+// registers "size_speed", …); the engine invokes them purely by name, so
+// new flows compose existing transforms without touching any package.
+type Transform struct {
+	// Name is the registry key used by scenario scripts.
+	Name string
+	// Doc is a one-line description for -list-transforms.
+	Doc string
+	// Window documents the status range where the transform is typically
+	// scheduled ("every step", "30..50", "final"). Informational; the
+	// script's own trigger governs execution.
+	Window string
+	// Structural transforms rebuild placement or analyzer structure
+	// (partition, legalize, mode switches…). They cannot be protected:
+	// the checkpoint layer can rewind the netlist and image but not, for
+	// example, a placer's internal partition tree.
+	Structural bool
+	// Guard, when non-nil, must return true for the step to run (on top
+	// of the script's trigger and conditions). Guards must be read-only.
+	Guard func(*Context) bool
+	// Run executes the transform. Args carries the step's key=value
+	// parameters.
+	Run func(*Context, Args) (Report, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Transform{}
+)
+
+// Register adds a transform to the global registry. It panics on a
+// duplicate or anonymous registration (registration happens in package
+// init; failing fast beats a half-populated registry).
+func Register(t Transform) {
+	if t.Name == "" || t.Run == nil {
+		panic("scenario: Register needs a name and a body")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[t.Name]; dup {
+		panic("scenario: duplicate transform " + t.Name)
+	}
+	tt := t
+	registry[t.Name] = &tt
+}
+
+// Lookup returns the named transform, or nil.
+func Lookup(name string) *Transform {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return registry[name]
+}
+
+// List returns all registered transforms sorted by name.
+func List() []*Transform {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]*Transform, 0, len(registry))
+	for _, t := range registry {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Args are a step's key=value parameters. Lookups fall back to the
+// scenario-level Params (so "set budget 64" provides the default any
+// step-level budget=… overrides), then to the supplied default.
+type Args struct {
+	kv  map[string]string
+	ctx *Context
+}
+
+func (a Args) raw(key string) (string, bool) {
+	if v, ok := a.kv[key]; ok {
+		return v, true
+	}
+	if a.ctx != nil {
+		if v, ok := a.ctx.Params[key]; ok {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// Str returns the string value for key, or def.
+func (a Args) Str(key, def string) string {
+	if v, ok := a.raw(key); ok {
+		return v
+	}
+	return def
+}
+
+// Float returns the float value for key, or def on absence or parse error.
+func (a Args) Float(key string, def float64) float64 {
+	if v, ok := a.raw(key); ok {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return f
+		}
+	}
+	return def
+}
+
+// Int returns the integer value for key, or def.
+func (a Args) Int(key string, def int) int {
+	if v, ok := a.raw(key); ok {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// Bool returns the boolean value for key ("1"/"true"/"0"/"false"), or def.
+func (a Args) Bool(key string, def bool) bool {
+	if v, ok := a.raw(key); ok {
+		switch v {
+		case "1", "true", "yes", "on":
+			return true
+		case "0", "false", "no", "off":
+			return false
+		}
+	}
+	return def
+}
+
+// Has reports whether the step itself (not the scenario params) set key.
+func (a Args) Has(key string) bool {
+	_, ok := a.kv[key]
+	return ok
+}
+
+// Margin resolves the ubiquitous margin parameter: "margin" is absolute
+// picoseconds, "marginfrac" scales the clock period. Step-level values
+// win over scenario params; def is absolute.
+func (a Args) Margin(c *Context, def float64) float64 {
+	if a.Has("marginfrac") {
+		return a.Float("marginfrac", 0) * c.Period
+	}
+	if a.Has("margin") {
+		return a.Float("margin", def)
+	}
+	if _, ok := a.raw("marginfrac"); ok {
+		return a.Float("marginfrac", 0) * c.Period
+	}
+	if _, ok := a.raw("margin"); ok {
+		return a.Float("margin", def)
+	}
+	return def
+}
+
+// Actor returns the per-run object stored under k, constructing it with
+// mk on first use. Flow actors (placer, weighter, optimizer…) live in
+// Context.Scratch so each Run gets fresh state.
+func Actor[T any](c *Context, k string, mk func() T) T {
+	if c.Scratch == nil {
+		c.Scratch = map[string]any{}
+	}
+	if v, ok := c.Scratch[k]; ok {
+		return v.(T)
+	}
+	v := mk()
+	c.Scratch[k] = v
+	return v
+}
+
+// ParamFloat reads a scenario-level parameter as a float, with default.
+func (c *Context) ParamFloat(k string, def float64) float64 {
+	if v, ok := c.Params[k]; ok {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return f
+		}
+	}
+	return def
+}
+
+// ParamInt reads a scenario-level parameter as an int, with default.
+func (c *Context) ParamInt(k string, def int) int {
+	if v, ok := c.Params[k]; ok {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// ParamStr reads a scenario-level parameter, with default.
+func (c *Context) ParamStr(k, def string) string {
+	if v, ok := c.Params[k]; ok {
+		return v
+	}
+	return def
+}
+
+// ParamBool reads a scenario-level boolean parameter, with default.
+func (c *Context) ParamBool(k string, def bool) bool {
+	switch c.Params[k] {
+	case "1", "true", "yes", "on":
+		return true
+	case "0", "false", "no", "off":
+		return false
+	}
+	return def
+}
+
+// HasParam reports whether the scenario set parameter k.
+func (c *Context) HasParam(k string) bool {
+	_, ok := c.Params[k]
+	return ok
+}

@@ -33,6 +33,7 @@ import (
 	"tps/internal/place"
 	"tps/internal/power"
 	"tps/internal/route"
+	"tps/internal/scenario"
 	"tps/internal/timing"
 )
 
@@ -79,6 +80,46 @@ func Table1Params(i int, scale float64) DesignParams { return gen.Des(i, scale) 
 func CycleImprovementPct(spr, tps Metrics) float64 {
 	return core.CycleImprovementPct(spr, tps)
 }
+
+// Scenario is a parsed scenario script: an ordered sequence of transform
+// steps with status triggers, loadable at runtime and executed by the
+// scenario engine (which also runs the built-in TPS and SPR flows).
+type Scenario = scenario.Script
+
+// Transform describes a registered flow building block.
+type Transform = scenario.Transform
+
+// TraceEvent is one structured record of the engine's event stream.
+type TraceEvent = scenario.Event
+
+// Tracer consumes scenario trace events.
+type Tracer = scenario.Tracer
+
+// NewJSONLTracer returns a Tracer writing one JSON object per line to w.
+func NewJSONLTracer(w io.Writer) Tracer { return scenario.NewJSONLTracer(w) }
+
+// ParseScenario parses a scenario script. Step names resolve against the
+// transform registry, so a script that parses also runs.
+func ParseScenario(text string) (*Scenario, error) { return scenario.Parse(text) }
+
+// LoadScenario reads and parses a scenario script from r.
+func LoadScenario(r io.Reader) (*Scenario, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return scenario.Parse(string(b))
+}
+
+// ListTransforms returns every registered transform, sorted by name.
+func ListTransforms() []*Transform { return scenario.List() }
+
+// TPSScript renders the built-in Figure 5 flow as a scenario script —
+// the exact text RunTPS executes.
+func TPSScript(opt TPSOptions) string { return core.TPSScript(opt) }
+
+// SPRScript renders the built-in baseline flow as a scenario script.
+func SPRScript(opt SPROptions) string { return core.SPRScript(opt) }
 
 // Design is a netlist with its physical frame, constraint, and analyzer
 // stack. One Design owns its netlist; run exactly one flow per Design and
@@ -141,6 +182,15 @@ func (d *Design) RunTPS(opt TPSOptions) Metrics { return core.RunTPS(d.ctx, opt)
 
 // RunSPR executes the traditional baseline flow.
 func (d *Design) RunSPR(opt SPROptions) Metrics { return core.RunSPR(d.ctx, opt) }
+
+// RunScenario executes a parsed scenario script through the engine. The
+// design's accept/reject counters for protected steps are afterwards
+// available via Context().Accepts / Context().Rejects.
+func (d *Design) RunScenario(s *Scenario) (Metrics, error) { return scenario.Run(d.ctx, s) }
+
+// SetTrace attaches a structured trace-event consumer (nil detaches).
+// Applies to custom scenarios and the built-in flows alike.
+func (d *Design) SetTrace(t Tracer) { d.ctx.Trace = t }
 
 // Evaluate measures the design as it stands, without running a flow.
 func (d *Design) Evaluate() Metrics { return d.ctx.Evaluate("current") }
