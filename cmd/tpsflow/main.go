@@ -1,5 +1,7 @@
 // Tpsflow runs the TPS or SPR flow on a design — either a generated
-// synthetic one or a .tpn netlist — and prints the closure metrics.
+// synthetic one or a .tpn netlist — and prints the closure metrics. With
+// -submit it instead ships the design and scenario to a running tpsd
+// server and streams the job's trace.
 //
 // Usage:
 //
@@ -8,6 +10,7 @@
 //	tpsflow -flow tps -gates 2000 -out placed.tpn
 //	tpsflow -flow tps -des 3 -scale 1.0 -workers 8 -cpuprofile cpu.pprof
 //	tpsflow -scenario custom.tps -gates 2000 -trace run.jsonl
+//	tpsflow -submit http://localhost:8077 -scenario custom.tps -gates 2000
 //	tpsflow -list-transforms
 package main
 
@@ -23,7 +26,17 @@ import (
 	"tps"
 )
 
+// main is the only place that may exit the process: every other path
+// returns an error, so deferred cleanups (trace files, profiles, the
+// design context) always run.
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tpsflow:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	flow := flag.String("flow", "tps", "flow to run: tps or spr")
 	in := flag.String("in", "", "input .tpn netlist (omit to generate)")
 	out := flag.String("out", "", "write the final design as .tpn")
@@ -39,6 +52,7 @@ func main() {
 	scenarioFile := flag.String("scenario", "", "run this scenario script instead of the built-in flows")
 	traceFile := flag.String("trace", "", "write the engine's structured trace as JSONL to this file")
 	listTransforms := flag.Bool("list-transforms", false, "list the registered transforms and exit")
+	submit := flag.String("submit", "", "submit to a tpsd server at this base URL instead of running locally")
 	verbose := flag.Bool("v", false, "print flow progress")
 	flag.Parse()
 
@@ -50,33 +64,40 @@ func main() {
 			}
 			fmt.Printf("%-18s %-14s %s%s\n", tr.Name, tr.Window, tr.Doc, kind)
 		}
-		return
+		return nil
 	}
 
-	makeDesign := func() *tps.Design {
+	makeDesign := func() (*tps.Design, error) {
 		switch {
 		case *in != "":
 			f, err := os.Open(*in)
 			if err != nil {
-				fatal(err)
+				return nil, err
 			}
-			d, err := tps.Load(f)
-			f.Close()
-			if err != nil {
-				fatal(err)
-			}
-			return d
+			defer f.Close()
+			return tps.Load(f)
 		case *des >= 1 && *des <= 5:
 			p := tps.Table1Params(*des, *scale)
 			p.Seed = *seed
-			return tps.NewDesign(p)
+			return tps.NewDesign(p), nil
 		default:
 			return tps.NewDesign(tps.DesignParams{
 				Name: "gen", NumGates: *gates, Levels: *levels, Seed: *seed,
-			})
+			}), nil
 		}
 	}
-	d := makeDesign()
+
+	if *submit != "" {
+		return runSubmit(submitOpts{
+			base: *submit, flow: *flow, scenarioFile: *scenarioFile,
+			workers: *workers, seed: *seed, makeDesign: makeDesign,
+		})
+	}
+
+	d, err := makeDesign()
+	if err != nil {
+		return err
+	}
 	defer d.Close()
 	if *verbose {
 		d.SetLog(os.Stderr)
@@ -92,38 +113,52 @@ func main() {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			return err
 		}
 		defer pprof.StopCPUProfile()
 	}
 
+	// The tracer is attached before the flow and receives the terminal
+	// flow_end record on every exit path — success or failure — before
+	// the deferred file close flushes it.
+	var tracer tps.Tracer
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
-		d.SetTrace(tps.NewJSONLTracer(f))
+		tracer = tps.NewJSONLTracer(f)
+		d.SetTrace(tracer)
 	}
 
-	var m tps.Metrics
-	switch {
-	case *scenarioFile != "":
-		var err error
-		m, err = runScenarioFile(d, *scenarioFile)
-		if err != nil {
-			fatal(err)
+	runFlow := func(d *tps.Design) (tps.Metrics, error) {
+		switch {
+		case *scenarioFile != "":
+			return runScenarioFile(d, *scenarioFile)
+		case *flow == "tps":
+			return d.RunTPS(tps.DefaultTPSOptions()), nil
+		case *flow == "spr":
+			return d.RunSPR(tps.DefaultSPROptions()), nil
+		default:
+			return tps.Metrics{}, fmt.Errorf("unknown flow %q (want tps or spr)", *flow)
 		}
-	case *flow == "tps":
-		m = d.RunTPS(tps.DefaultTPSOptions())
-	case *flow == "spr":
-		m = d.RunSPR(tps.DefaultSPROptions())
-	default:
-		fatal(fmt.Errorf("unknown flow %q (want tps or spr)", *flow))
+	}
+
+	m, flowErr := runFlow(d)
+	if tracer != nil {
+		end := tps.TraceEvent{Type: tps.EvFlowEnd}
+		if flowErr != nil {
+			end.Err = flowErr.Error()
+		}
+		tracer.Emit(end)
+	}
+	if flowErr != nil {
+		return flowErr
 	}
 
 	fmt.Printf("%-4s slack=%.0fps cycle=%.0fps area=%.0fµm² icells=%d\n",
@@ -142,20 +177,15 @@ func main() {
 	printPhases(d.PhaseTimes(), nil)
 
 	if *compare {
-		ref := makeDesign()
+		ref, err := makeDesign()
+		if err != nil {
+			return err
+		}
+		defer ref.Close()
 		ref.SetWorkers(1)
-		var mr tps.Metrics
-		switch {
-		case *scenarioFile != "":
-			var err error
-			mr, err = runScenarioFile(ref, *scenarioFile)
-			if err != nil {
-				fatal(err)
-			}
-		case *flow == "tps":
-			mr = ref.RunTPS(tps.DefaultTPSOptions())
-		case *flow == "spr":
-			mr = ref.RunSPR(tps.DefaultSPROptions())
+		mr, err := runFlow(ref)
+		if err != nil {
+			return err
 		}
 		same := m.WorstSlack == mr.WorstSlack && m.TNS == mr.TNS &&
 			m.SteinerWireUm == mr.SteinerWireUm && m.AreaUm2 == mr.AreaUm2 &&
@@ -166,35 +196,35 @@ func main() {
 			fmt.Printf("     speedup: %.2fx end-to-end (%.1fs → %.1fs)\n",
 				mr.CPUSeconds/m.CPUSeconds, mr.CPUSeconds, m.CPUSeconds)
 		}
-		ref.Close()
 		if !same {
-			fatal(fmt.Errorf("metrics diverged between worker counts"))
+			return fmt.Errorf("metrics diverged between worker counts")
 		}
 	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
+		defer f.Close()
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fatal(err)
+			return err
 		}
-		f.Close()
 	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
+		defer f.Close()
 		if err := d.Save(f); err != nil {
-			fatal(err)
+			return err
 		}
-		f.Close()
 		fmt.Printf("wrote %s\n", *out)
 	}
+	return nil
 }
 
 // printPhases prints per-transform wall clock, and speedups against a
@@ -231,9 +261,4 @@ func runScenarioFile(d *tps.Design, path string) (tps.Metrics, error) {
 		return tps.Metrics{}, err
 	}
 	return d.RunScenario(s)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tpsflow:", err)
-	os.Exit(1)
 }

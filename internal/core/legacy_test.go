@@ -100,11 +100,11 @@ func runTPSLegacy(c *Context, opt TPSOptions) Metrics {
 		}
 
 		if crossed(prev, status, 20, 30) {
-			n := sizing.SizeForArea(c.NL, c.Eng, 50)
+			n := sizing.SizeForArea(c.NL, c.Eng, 50, nil)
 			c.Logf("status %3d: area recovery resized %d", status, n)
 		}
 		if status > 30 && discretized {
-			n := sizing.SizeForSpeed(c.NL, c.Eng, c.Im, 60, budget)
+			n := sizing.SizeForSpeed(c.NL, c.Eng, c.Im, 60, budget, nil)
 			c.Logf("status %3d: speed sizing accepted %d", status, n)
 		}
 		if crossed(prev, status, 30, 50) && discretized {
@@ -124,7 +124,7 @@ func runTPSLegacy(c *Context, opt TPSOptions) Metrics {
 			}
 		}
 		if status > 80 {
-			n := sizing.SizeForArea(c.NL, c.Eng, 80)
+			n := sizing.SizeForArea(c.NL, c.Eng, 80, nil)
 			c.Logf("status %3d: late area recovery resized %d", status, n)
 		}
 		rel.RelieveAll(0.25)
@@ -165,7 +165,7 @@ func runTPSLegacy(c *Context, opt TPSOptions) Metrics {
 
 	{
 		stop = c.Track("synthesis")
-		ns := sizing.SizeForSpeed(c.NL, c.Eng, c.Im, 0.08*c.Period, 2*budget)
+		ns := sizing.SizeForSpeed(c.NL, c.Eng, c.Im, 0.08*c.Period, 2*budget, nil)
 		nb := so.BufferCritical(budget)
 		ncl := so.CloneCritical(budget)
 		np := so.PinSwap(budget)
@@ -177,7 +177,7 @@ func runTPSLegacy(c *Context, opt TPSOptions) Metrics {
 		stop = c.Track("detailed")
 		place.DetailedPlace(c.NL, c.St, c.ChipW, c.ChipH, dopt, nil)
 		stop()
-		sizing.InFootprintResize(c.NL, c.Eng, 0.08*c.Period)
+		sizing.InFootprintResize(c.NL, c.Eng, 0.08*c.Period, nil)
 		so.PinSwap(budget)
 	}
 
@@ -188,7 +188,7 @@ func runTPSLegacy(c *Context, opt TPSOptions) Metrics {
 		stop()
 		m.RoutedWireUm = res.TotalLen
 		m.RouteOverflows = res.Overflows
-		n := sizing.InFootprintResize(c.NL, c.Eng, 60)
+		n := sizing.InFootprintResize(c.NL, c.Eng, 60, nil)
 		c.Logf("post-route in-footprint resizes: %d", n)
 		m.WorstSlack = c.Eng.WorstSlack()
 		m.TNS = c.Eng.TNS()
@@ -215,7 +215,7 @@ func runSPRLegacy(c *Context, opt SPROptions) Metrics {
 	c.Eng.SetMode(delay.WireLoad)
 	sizing.AssignGains(c.NL, 4)
 	sizing.DiscretizeActual(c.NL, c.Calc)
-	sizing.SizeForSpeed(c.NL, c.Eng, c.Im, 60, budget)
+	sizing.SizeForSpeed(c.NL, c.Eng, c.Im, 60, budget, nil)
 	so.BufferCritical(budget)
 	so.CloneCritical(budget)
 	c.Logf("SPR synthesis done (WLM): slack %.0f", c.Eng.WorstSlack())
@@ -256,7 +256,7 @@ func runSPRLegacy(c *Context, opt SPROptions) Metrics {
 	prev := c.Eng.WorstSlack()
 	c.Logf("SPR post-place slack: %.0f", prev)
 	for it := 0; it < opt.MaxIterations; it++ {
-		ns := sizing.SizeForSpeed(c.NL, c.Eng, c.Im, 60, budget)
+		ns := sizing.SizeForSpeed(c.NL, c.Eng, c.Im, 60, budget, nil)
 		nb := so.BufferCritical(budget)
 		ncl := so.CloneCritical(budget)
 		place.Legalize(c.NL, c.ChipW, c.ChipH)
@@ -281,7 +281,7 @@ func runSPRLegacy(c *Context, opt SPROptions) Metrics {
 		res := route.RouteAllN(c.NL, c.St, c.Im, c.Workers)
 		m.RoutedWireUm = res.TotalLen
 		m.RouteOverflows = res.Overflows
-		sizing.InFootprintResize(c.NL, c.Eng, 60)
+		sizing.InFootprintResize(c.NL, c.Eng, 60, nil)
 		m.WorstSlack = c.Eng.WorstSlack()
 		m.TNS = c.Eng.TNS()
 		m.CycleAchieved = c.Period - m.WorstSlack

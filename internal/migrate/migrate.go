@@ -32,6 +32,10 @@ type Migrator struct {
 
 	// Attempts / Accepts count proposed and accepted strong moves.
 	Attempts, Accepts int
+
+	// Stop, when non-nil, is polled between strong-move candidates (safe
+	// commit points); a non-nil return ends the pass early.
+	Stop func() error
 }
 
 // New returns a migrator with paper-scale defaults.
@@ -46,12 +50,18 @@ func (m *Migrator) Run() int {
 	before := m.Accepts
 	crit := m.Eng.CriticalNets(m.Margin)
 	for _, n := range crit {
+		if m.Stop != nil && m.Stop() != nil {
+			return m.Accepts - before
+		}
 		m.StrongMoveNet(n)
 	}
 	// Merged groups: consecutive critical nets sharing a gate (the
 	// "strong move for a group of nets" of §4.2).
 	groups := 0
 	for i := 0; i+1 < len(crit) && groups < m.MaxGroups; i++ {
+		if m.Stop != nil && m.Stop() != nil {
+			break
+		}
 		a, b := crit[i], crit[i+1]
 		if sharesGate(a, b) {
 			m.strongMoveSet(unionMovable(a, b, m.MaxSet*2))

@@ -7,6 +7,7 @@ import (
 func forScenario(c *scenario.Context) *Migrator {
 	return scenario.Actor(c, "migrate", func() *Migrator {
 		m := New(c.NL, c.Eng, c.Im)
+		m.Stop = c.Interrupted
 		if c.HasParam("migrate_marginfrac") {
 			m.Margin = c.ParamFloat("migrate_marginfrac", 0) * c.Period
 		} else if c.HasParam("migrate_margin") {
@@ -25,7 +26,7 @@ func init() {
 			n := forScenario(c).Run()
 			stop()
 			c.Logf("status %3d: migration %d", c.Status, n)
-			return scenario.Report{Changed: n}, nil
+			return scenario.Report{Changed: n}, c.Interrupted()
 		},
 	})
 }

@@ -15,8 +15,10 @@ import (
 // takes its incident wiring along, lowering the local crossing counts.
 // The timing engine (inside the relocator) keeps critical cells pinned.
 // Returns the number of cells moved.
+// stop, when non-nil, is polled between hot-spot bins (safe commit
+// points); a non-nil return stops the pass with the moves so far kept.
 func RelieveCongestion(nl *netlist.Netlist, st *steiner.Cache, im *image.Image,
-	rel *Relocator, eng *timing.Engine, maxMoves int) int {
+	rel *Relocator, eng *timing.Engine, maxMoves int, stop func() error) int {
 	congestion.Analyze(nl, st, im) // refresh WireUsed on the bins
 
 	type hot struct {
@@ -44,6 +46,9 @@ func RelieveCongestion(nl *netlist.Netlist, st *steiner.Cache, im *image.Image,
 	moved := 0
 	_ = eng
 	for _, h := range hots {
+		if stop != nil && stop() != nil {
+			break
+		}
 		if maxMoves > 0 && moved >= maxMoves {
 			break
 		}

@@ -61,7 +61,7 @@ func TestRelieveReducesOverflow(t *testing.T) {
 	if before.OverflowEdges == 0 {
 		t.Fatal("setup error: no overflow to relieve")
 	}
-	moved := RelieveCongestion(nl, st, im, rel, eng, 0)
+	moved := RelieveCongestion(nl, st, im, rel, eng, 0, nil)
 	if moved == 0 {
 		t.Fatal("no cells moved")
 	}
@@ -86,14 +86,14 @@ func TestRelieveNoopWhenClean(t *testing.T) {
 	calc := delay.NewCalculator(nl, st, delay.Actual)
 	eng := timing.New(nl, calc, 1e6)
 	rel := New(nl, eng, im)
-	if moved := RelieveCongestion(nl, st, im, rel, eng, 0); moved != 0 {
+	if moved := RelieveCongestion(nl, st, im, rel, eng, 0, nil); moved != 0 {
 		t.Errorf("moved %d cells on a congestion-free design", moved)
 	}
 }
 
 func TestRelieveBoundedByMaxMoves(t *testing.T) {
 	nl, st, im, rel, eng := hotspotRig(t)
-	if moved := RelieveCongestion(nl, st, im, rel, eng, 3); moved > 8 {
+	if moved := RelieveCongestion(nl, st, im, rel, eng, 3, nil); moved > 8 {
 		t.Errorf("maxMoves ignored: %d cells moved", moved)
 	}
 }

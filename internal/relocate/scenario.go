@@ -30,9 +30,9 @@ func init() {
 		Name: "decongest", Doc: "move low-slack gates away from congestion hot spots (moves=32)",
 		Window: "any",
 		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
-			n := RelieveCongestion(c.NL, c.St, c.Im, ForScenario(c), c.Eng, a.Int("moves", 32))
+			n := RelieveCongestion(c.NL, c.St, c.Im, ForScenario(c), c.Eng, a.Int("moves", 32), c.Interrupted)
 			c.Logf("status %3d: congestion relocation moved %d", c.Status, n)
-			return scenario.Report{Changed: n}, nil
+			return scenario.Report{Changed: n}, c.Interrupted()
 		},
 	})
 }

@@ -1,0 +1,184 @@
+package scenario_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"tps/internal/netlist"
+	"tps/internal/scenario"
+)
+
+// crawl is the deliberately slow transform of the maxsec regression
+// test: it perturbs one gate (so rollback has something to undo), then
+// spins for far longer than any test budget, polling Interrupted at
+// each safe commit point the way real transform loops do.
+func init() {
+	scenario.Register(scenario.Transform{
+		Name: "crawl", Doc: "test: slow transform that polls Interrupted",
+		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
+			var g0 *netlist.Gate
+			c.NL.Gates(func(g *netlist.Gate) {
+				if g0 == nil && !g.IsPad() && !g.Fixed {
+					g0 = g
+				}
+			})
+			if g0 != nil {
+				c.NL.MoveGate(g0, 1, 1)
+			}
+			deadline := time.Now().Add(10 * time.Second)
+			for time.Now().Before(deadline) {
+				if err := c.Interrupted(); err != nil {
+					return scenario.Report{}, err
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			return scenario.Report{Changed: 1}, nil
+		},
+	})
+}
+
+// eventLog collects the engine's trace events for assertions.
+type eventLog struct{ events []scenario.Event }
+
+func (l *eventLog) Emit(e scenario.Event) { l.events = append(l.events, e) }
+
+func (l *eventLog) find(t scenario.EventType) *scenario.Event {
+	for i := range l.events {
+		if l.events[i].Type == t {
+			return &l.events[i]
+		}
+	}
+	return nil
+}
+
+func positions(c *scenario.Context) map[int][2]float64 {
+	m := map[int][2]float64{}
+	c.NL.Gates(func(g *netlist.Gate) { m[g.ID] = [2]float64{g.X, g.Y} })
+	return m
+}
+
+// A protected step whose body outruns maxsec must be interrupted while
+// it runs — not judged only after it returns — and rolled back as a
+// "timeout" rejection, leaving the flow to continue.
+func TestMaxSecInterruptsStuckTransform(t *testing.T) {
+	c := rig(t, 1)
+	log := &eventLog{}
+	c.Trace = log
+	before := positions(c)
+
+	s := mustParse(t, `
+scenario slowpoke
+init {
+  crawl protect maxsec=0.05
+  noop_ok
+}
+`)
+	t0 := time.Now()
+	if _, err := scenario.Run(c, s); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if el := time.Since(t0); el > 3*time.Second {
+		t.Fatalf("maxsec=0.05 did not interrupt the transform: run took %v", el)
+	}
+	if c.Rejects != 1 {
+		t.Fatalf("rejects = %d, want 1", c.Rejects)
+	}
+	rej := log.find(scenario.EvReject)
+	if rej == nil || rej.Reason != "timeout" {
+		t.Fatalf("reject event = %+v, want reason timeout", rej)
+	}
+	if after := positions(c); len(after) != len(before) {
+		t.Fatalf("gate count changed across rollback")
+	} else {
+		for id, p := range before {
+			if after[id] != p {
+				t.Fatalf("gate %d at %v, want %v (rollback incomplete)", id, after[id], p)
+			}
+		}
+	}
+	// The flow continued past the rejection.
+	if log.find(scenario.EvScenarioEnd) == nil {
+		t.Fatalf("no scenario_end after timeout rejection")
+	}
+}
+
+// Cancelling the run context stops an unprotected step at its next safe
+// commit point and aborts the run with a context.Canceled error.
+func TestRunContextCancelAborts(t *testing.T) {
+	c := rig(t, 2)
+	s := mustParse(t, `
+scenario cancelme
+init {
+  crawl
+}
+`)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	_, err := scenario.RunContext(ctx, c, s)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if el := time.Since(t0); el > 3*time.Second {
+		t.Fatalf("cancel did not interrupt the transform: run took %v", el)
+	}
+}
+
+// A cancel landing inside a protected step rolls the step back to its
+// checkpoint before the run aborts, so the design is left consistent —
+// and the rollback is not counted as a judged rejection.
+func TestCancelDuringProtectedStepRollsBack(t *testing.T) {
+	c := rig(t, 3)
+	log := &eventLog{}
+	c.Trace = log
+	before := positions(c)
+
+	s := mustParse(t, `
+scenario cancelprotect
+init {
+  crawl protect
+}
+`)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	_, err := scenario.RunContext(ctx, c, s)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c.Rejects != 0 {
+		t.Fatalf("rejects = %d, want 0 (cancel is not a judged rejection)", c.Rejects)
+	}
+	rej := log.find(scenario.EvReject)
+	if rej == nil || rej.Reason != "canceled" {
+		t.Fatalf("reject event = %+v, want reason canceled", rej)
+	}
+	for id, p := range before {
+		if after := positions(c); after[id] != p {
+			t.Fatalf("gate %d at %v, want %v (rollback incomplete)", id, after[id], p)
+		}
+	}
+}
+
+// A cancel between steps is observed before the next step starts.
+func TestCancelBetweenSteps(t *testing.T) {
+	c := rig(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the run even starts
+	s := mustParse(t, `
+scenario stillborn
+init {
+  noop_ok
+}
+`)
+	if _, err := scenario.RunContext(ctx, c, s); err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

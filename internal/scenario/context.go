@@ -15,6 +15,8 @@
 package scenario
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -97,6 +99,41 @@ type Context struct {
 
 	repeatIters int // executed repeat-block iterations (Metrics.Iterations)
 	seq         int // trace sequence number
+
+	// runCtx is the cancellation context of the Run in progress (nil
+	// outside a run, or for a run started without one). The interpreter
+	// checks it between steps; transform bodies observe it through
+	// Interrupted at their own safe commit points.
+	runCtx context.Context
+	// stepDeadline, when non-zero, is the wall-clock bound of the
+	// protected step currently executing (its maxsec budget). Interrupted
+	// trips once it passes, so a stuck transform body that polls the hook
+	// is cut off instead of running unbounded.
+	stepDeadline time.Time
+}
+
+// ErrStepTimeout is returned by Interrupted once the executing protected
+// step has outrun its maxsec budget. The engine rolls the step back and
+// records it as rejected with reason "timeout".
+var ErrStepTimeout = errors.New("scenario: step exceeded its maxsec budget")
+
+// Interrupted is the cooperative cancellation hook for transform bodies:
+// long loops call it at safe commit points (after an accepted or reverted
+// change, never mid-edit) and unwind with the returned error, leaving the
+// design consistent. It reports the run's context cancellation first,
+// then the executing protected step's maxsec deadline. It reads only the
+// clock and the context — never an analyzer — so polling it cannot
+// perturb determinism or counter parity.
+func (c *Context) Interrupted() error {
+	if c.runCtx != nil {
+		if err := c.runCtx.Err(); err != nil {
+			return err
+		}
+	}
+	if !c.stepDeadline.IsZero() && time.Now().After(c.stepDeadline) {
+		return ErrStepTimeout
+	}
+	return nil
 }
 
 // track starts a named phase timer; the returned func stops it and adds
@@ -184,9 +221,15 @@ func (c *Context) AnalyzerStats() AnalyzerStats {
 // Logf writes a progress line when a log sink is attached. Exported for
 // transform shims; never read any analyzer inside the argument list of a
 // call that legacy flows didn't, or counter parity breaks.
+//
+// Each line is formatted into a buffer first and handed to the sink as a
+// single Write, so concurrent flows whose contexts share one sink (wrap
+// it in NewLockedWriter) interleave at whole-line granularity instead of
+// corrupting each other's output mid-line. The preferred arrangement is
+// still per-job writer ownership: one Context, one sink.
 func (c *Context) Logf(format string, args ...interface{}) {
 	if c.Log != nil {
-		fmt.Fprintf(c.Log, format+"\n", args...)
+		c.Log.Write(fmt.Appendf(nil, format+"\n", args...))
 	}
 }
 

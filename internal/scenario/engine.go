@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -19,7 +21,20 @@ import (
 // script's. An error from an unprotected step aborts the run; protected
 // steps instead roll back to their checkpoint and count as rejected.
 func Run(c *Context, s *Script) (Metrics, error) {
+	return RunContext(context.Background(), c, s)
+}
+
+// RunContext is Run under a cancellation context. Cancelling ctx stops
+// the flow at the next safe commit point: the interpreter checks it
+// before every step, and cooperative transform bodies poll it through
+// Context.Interrupted inside their loops. A protected step in flight
+// when the cancel lands is rolled back to its checkpoint first, so the
+// design is left consistent; the run then returns an error wrapping
+// ctx's error (errors.Is(err, context.Canceled) identifies a cancel).
+func RunContext(ctx context.Context, c *Context, s *Script) (Metrics, error) {
 	start := time.Now()
+	c.runCtx = ctx
+	defer func() { c.runCtx = nil }()
 
 	params := make(map[string]string, len(s.Params)+len(c.Params))
 	for k, v := range s.Params {
@@ -136,6 +151,13 @@ func (c *Context) execStep(b *Block, st *Step) error {
 	if !st.triggered(c.PrevStatus, c.Status) {
 		return nil
 	}
+	// The between-steps cancellation point: the design is always at a
+	// safe commit point here, so an aborted run leaves it consistent.
+	if c.runCtx != nil {
+		if cerr := c.runCtx.Err(); cerr != nil {
+			return fmt.Errorf("scenario: canceled before step %s: %w", st.Name, cerr)
+		}
+	}
 	tr := Lookup(st.Name)
 	if tr == nil {
 		// Parse validated the registry; a miss here means a script built by
@@ -173,16 +195,31 @@ func (c *Context) execStep(b *Block, st *Step) error {
 		return nil
 	}
 
-	// Protected execution: checkpoint, run, judge, keep or rewind.
+	// Protected execution: checkpoint, run, judge, keep or rewind. The
+	// maxsec budget is armed as a deadline BEFORE the body runs, so a
+	// transform that polls Interrupted is cut off mid-loop instead of
+	// being judged only after it finally returns.
 	snap := netio.Capture(c.NL)
 	usage := c.Im.SnapshotUsage()
 	objBefore := c.objective()
+	if st.MaxSec > 0 {
+		c.stepDeadline = time.Now().Add(time.Duration(st.MaxSec * float64(time.Second)))
+	}
 	rep, err := tr.Run(c, args)
+	c.stepDeadline = time.Time{}
 	dur := time.Since(t0)
+
+	// A run-level cancel outranks the step's own outcome: the step is
+	// rolled back like any rejection, then the whole run aborts.
+	canceled := c.runCtx != nil && c.runCtx.Err() != nil
 
 	reason := ""
 	objAfter := objBefore
 	switch {
+	case canceled:
+		reason = "canceled"
+	case errors.Is(err, ErrStepTimeout):
+		reason = "timeout"
 	case err != nil:
 		reason = "error"
 	case st.MaxSec > 0 && dur.Seconds() > st.MaxSec:
@@ -207,7 +244,6 @@ func (c *Context) execStep(b *Block, st *Step) error {
 		return fmt.Errorf("scenario: step %s: rollback failed: %v (step outcome: %s)", st.Name, rerr, reason)
 	}
 	c.Im.RestoreUsage(usage)
-	c.Rejects++
 	ev := Event{Type: EvReject, Block: b.Label, Step: st.Name, Status: c.Status,
 		Reason: reason, DurMs: dur.Seconds() * 1000,
 		ObjBefore: fptr(objBefore)}
@@ -217,6 +253,13 @@ func (c *Context) execStep(b *Block, st *Step) error {
 	if reason == "regression" {
 		ev.ObjAfter = fptr(objAfter)
 	}
+	if reason == "canceled" {
+		// Rolled back for consistency, but not a judged rejection: the
+		// run itself is being aborted.
+		c.emit(ev)
+		return fmt.Errorf("scenario: step %s canceled: %w", st.Name, c.runCtx.Err())
+	}
+	c.Rejects++
 	c.emit(ev)
 	c.Logf("step %s at status %d rejected (%s)", st.Name, c.Status, reason)
 	return nil

@@ -26,6 +26,12 @@ const (
 	EvStepSkip EventType = "step_skip"
 	// EvReject records a protected step that was rolled back.
 	EvReject EventType = "reject"
+	// EvFlowEnd is the terminal record a tool or server appends after the
+	// engine finishes (or fails, or is canceled): the one line a stream
+	// consumer can always wait for. The engine itself never emits it —
+	// EvScenarioEnd is the engine's last word; EvFlowEnd is the
+	// embedder's, carrying the overall error text when the run died.
+	EvFlowEnd EventType = "flow_end"
 )
 
 // Event is one structured trace record. Numeric fields are filled only
@@ -64,7 +70,7 @@ type Event struct {
 	CongestionDirty int `json:"congestion_dirty,omitempty"`
 	// Accepted / rejected protected-step outcome (step_end of protected
 	// steps, reject events) and the rejection reason
-	// ("error" | "timeout" | "regression").
+	// ("error" | "timeout" | "regression" | "canceled").
 	Accepted bool   `json:"accepted,omitempty"`
 	Reason   string `json:"reason,omitempty"`
 	// ObjBefore/ObjAfter are the scenario objective around a protected
@@ -113,6 +119,27 @@ func (t *JSONLTracer) Err() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.err
+}
+
+// LockedWriter serializes Write calls onto a shared sink. Wrap a writer
+// in one when several concurrent flows must share it (stderr, a common
+// log file): each Context.Logf line and JSONLTracer record arrives as a
+// single Write, so the lock is sufficient for whole-line interleaving.
+// Per-job writer ownership remains the preferred arrangement; this is
+// the fallback for genuinely shared sinks.
+type LockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLockedWriter wraps w so concurrent writers interleave whole calls.
+func NewLockedWriter(w io.Writer) *LockedWriter { return &LockedWriter{w: w} }
+
+// Write forwards to the underlying writer under the lock.
+func (l *LockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
 }
 
 // MultiTracer fans events out to several tracers.

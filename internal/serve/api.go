@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"time"
+
+	"tps/internal/scenario"
+)
+
+// Job states, in lifecycle order. Terminal states are JobDone,
+// JobFailed, and JobCanceled.
+const (
+	JobQueued   = "queued"
+	JobRunning  = "running"
+	JobDone     = "done"
+	JobFailed   = "failed"
+	JobCanceled = "canceled"
+)
+
+// SubmitRequest is the POST /jobs body. Exactly one of Design (a stored
+// design's name) or Netlist (inline .tpn text) selects the design.
+type SubmitRequest struct {
+	// Design names a previously uploaded design. The job runs against
+	// the stored netlist rewound to its upload-time snapshot (warm: no
+	// re-parse), serialized with other jobs on the same design.
+	Design string `json:"design,omitempty"`
+	// Netlist is an inline .tpn netlist; the job gets a private copy.
+	Netlist string `json:"netlist,omitempty"`
+	// Scenario is the scenario script to run (required).
+	Scenario string `json:"scenario"`
+	// Workers requests an analyzer fan-out width; the grant is capped
+	// by the server's free budget and floored at 1. 0 means "whatever
+	// is free". Results are bit-identical at any width.
+	Workers int `json:"workers,omitempty"`
+	// Seed is the flow seed (default 1).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// SubmitResponse acknowledges an accepted job.
+type SubmitResponse struct {
+	JobID string `json:"job_id"`
+	State string `json:"state"`
+}
+
+// JobInfo is one job's externally visible status.
+type JobInfo struct {
+	ID     string `json:"id"`
+	Design string `json:"design,omitempty"`
+	State  string `json:"state"`
+	Error  string `json:"error,omitempty"`
+	// Workers is the granted fan-out width (0 until the job starts).
+	Workers int `json:"workers,omitempty"`
+	// Accepts/Rejects count protected-step outcomes.
+	Accepts int `json:"accepts,omitempty"`
+	Rejects int `json:"rejects,omitempty"`
+
+	QueuedAt   time.Time  `json:"queued_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+
+	// Metrics is the flow's final evaluation (terminal done state only).
+	Metrics *scenario.Metrics `json:"metrics,omitempty"`
+}
+
+// DesignInfo describes one stored design.
+type DesignInfo struct {
+	Name  string `json:"name"`
+	Gates int    `json:"gates"`
+	Nets  int    `json:"nets"`
+}
+
+// ErrorResponse is the JSON error envelope.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

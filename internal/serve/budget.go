@@ -1,0 +1,39 @@
+package serve
+
+import "sync"
+
+// workerBudget divides the server's total analyzer fan-out between
+// running jobs. A grant takes min(want, free) workers but never less
+// than one: a job must not stall waiting for parallelism, so under full
+// load the budget oversubscribes by up to one worker per job instead of
+// blocking. Results are unaffected — the evaluation layer is
+// bit-identical at every width — only wall-clock sharing changes.
+type workerBudget struct {
+	mu    sync.Mutex
+	total int
+	used  int
+}
+
+// grant reserves a fan-out width for one job. want<=0 means "whatever
+// is free".
+func (b *workerBudget) grant(want int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	free := b.total - b.used
+	if free < 1 {
+		free = 1 // floor: never block a job on parallelism
+	}
+	n := want
+	if n <= 0 || n > free {
+		n = free
+	}
+	b.used += n
+	return n
+}
+
+// release returns a grant to the pool.
+func (b *workerBudget) release(n int) {
+	b.mu.Lock()
+	b.used -= n
+	b.mu.Unlock()
+}

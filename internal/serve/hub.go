@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+
+	"tps/internal/scenario"
+)
+
+// traceHub is a job's trace fan-out point: it implements
+// scenario.Tracer, buffering every event as one pre-marshaled JSONL
+// line, and lets any number of stream readers tail the buffer
+// concurrently — including readers that attach after the job finished
+// (they replay the whole trace and see the terminal flow_end).
+//
+// Emit is called from the job's interpreter goroutine; next from HTTP
+// handler goroutines. The single mutex + condvar keeps ordering simple:
+// lines are append-only and indexed, so a reader's position is just an
+// integer.
+type traceHub struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	lines  [][]byte
+	closed bool
+}
+
+func newTraceHub() *traceHub {
+	h := &traceHub{}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// Emit implements scenario.Tracer.
+func (h *traceHub) Emit(e scenario.Event) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	h.append(append(b, '\n'))
+}
+
+func (h *traceHub) append(line []byte) {
+	h.mu.Lock()
+	if !h.closed {
+		h.lines = append(h.lines, line)
+		h.cond.Broadcast()
+	}
+	h.mu.Unlock()
+}
+
+// terminate appends the embedder's flow_end record (with the run's
+// error text, empty on success) and closes the stream. Idempotent via
+// the closed flag.
+func (h *traceHub) terminate(errText string) {
+	e := scenario.Event{Type: scenario.EvFlowEnd, Err: errText}
+	b, err := json.Marshal(e)
+	if err != nil {
+		b = []byte(`{"type":"flow_end"}`)
+	}
+	h.mu.Lock()
+	if !h.closed {
+		h.lines = append(h.lines, append(b, '\n'))
+		h.closed = true
+		h.cond.Broadcast()
+	}
+	h.mu.Unlock()
+}
+
+// next returns line i, blocking until it exists. ok is false when the
+// stream is over (closed and fully consumed) or ctx is done. Callers
+// must arrange for wake to run on ctx cancellation (context.AfterFunc),
+// since a condvar cannot select on a channel.
+func (h *traceHub) next(i int, ctx context.Context) ([]byte, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.lines) <= i && !h.closed && ctx.Err() == nil {
+		h.cond.Wait()
+	}
+	if ctx.Err() != nil {
+		return nil, false
+	}
+	if i < len(h.lines) {
+		return h.lines[i], true
+	}
+	return nil, false
+}
+
+// wake kicks every blocked reader so it can re-check its context.
+func (h *traceHub) wake() {
+	h.mu.Lock()
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"tps/internal/gen"
+	"tps/internal/scenario"
+)
+
+// Job is one queued or running scenario flow. The immutable fields are
+// set at submit time; everything under mu is the externally visible
+// state machine (queued → running → done|failed|canceled).
+type Job struct {
+	ID         string
+	DesignName string
+	script     *scenario.Script
+	gd         *gen.Design   // inline submission: private design
+	sd         *storedDesign // stored-design submission
+	seed       int64
+	want       int // requested fan-out width
+
+	hub *traceHub
+
+	mu               sync.Mutex
+	state            string
+	err              string
+	metrics          *scenario.Metrics
+	accepts, rejects int
+	granted          int
+	cancel           context.CancelFunc // set while running
+	cancelReq        bool
+	queuedAt         time.Time
+	startedAt        time.Time
+	finishedAt       time.Time
+}
+
+// info snapshots the job's externally visible state.
+func (j *Job) info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	in := JobInfo{
+		ID: j.ID, Design: j.DesignName, State: j.state, Error: j.err,
+		Workers: j.granted, Accepts: j.accepts, Rejects: j.rejects,
+		QueuedAt: j.queuedAt, Metrics: j.metrics,
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		in.StartedAt = &t
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		in.FinishedAt = &t
+	}
+	return in
+}
+
+// requestCancel flags the job for cancellation. A running job's context
+// is canceled so the engine aborts at the next safe commit point; a
+// queued job is skipped when a worker picks it up. Terminal jobs are
+// unaffected.
+func (j *Job) requestCancel() {
+	j.mu.Lock()
+	j.cancelReq = true
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// runJob executes one job end to end: state transitions, worker-budget
+// grant, design acquisition, the engine run, and the terminal flow_end
+// trace record. Called from a worker goroutine.
+func (s *Server) runJob(j *Job) {
+	j.mu.Lock()
+	if j.cancelReq {
+		j.state = JobCanceled
+		j.err = "canceled while queued"
+		j.finishedAt = time.Now()
+		j.mu.Unlock()
+		j.hub.terminate("canceled while queued")
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.cancel = cancel
+	j.state = JobRunning
+	j.startedAt = time.Now()
+	j.mu.Unlock()
+	defer cancel()
+
+	granted := s.budget.grant(j.want)
+	defer s.budget.release(granted)
+	j.mu.Lock()
+	j.granted = granted
+	j.mu.Unlock()
+
+	gd := j.gd
+	if j.sd != nil {
+		var release func()
+		var err error
+		gd, release, err = j.sd.acquire()
+		if err != nil {
+			j.finish(nil, 0, 0, err)
+			return
+		}
+		defer release()
+	}
+
+	// Fresh analyzer stack per run: correctness over analyzer warmness.
+	// The warm part of a stored-design re-run is the parsed netlist
+	// object graph, not incremental analyzer state.
+	c := scenario.NewContext(gd, j.seed)
+	c.SetWorkers(granted)
+	c.Trace = j.hub
+	m, err := scenario.RunContext(ctx, c, j.script)
+	accepts, rejects := c.Accepts, c.Rejects
+	c.Close()
+
+	if err != nil {
+		j.finish(nil, accepts, rejects, err)
+		return
+	}
+	j.finish(&m, accepts, rejects, nil)
+}
+
+// finish moves the job to its terminal state and closes the trace
+// stream with the flow_end record.
+func (j *Job) finish(m *scenario.Metrics, accepts, rejects int, err error) {
+	j.mu.Lock()
+	j.finishedAt = time.Now()
+	j.accepts, j.rejects = accepts, rejects
+	j.metrics = m
+	switch {
+	case err == nil:
+		j.state = JobDone
+	case errIsCancel(err):
+		j.state = JobCanceled
+		j.err = err.Error()
+	default:
+		j.state = JobFailed
+		j.err = err.Error()
+	}
+	errText := j.err
+	j.mu.Unlock()
+	j.hub.terminate(errText)
+}

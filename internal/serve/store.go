@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"sync"
+
+	"tps/internal/gen"
+	"tps/internal/netio"
+)
+
+// storedDesign is one uploaded design: the parsed netlist plus a
+// netio.Capture snapshot of its upload-time state. Jobs referencing it
+// hold mu for their whole run, rewind the netlist to base, and run in
+// place — warm re-runs reuse the parsed object graph without re-parsing
+// the .tpn text, and the snapshot guarantees every run starts from the
+// same bits regardless of what the previous run did to the netlist.
+type storedDesign struct {
+	mu   sync.Mutex
+	gd   *gen.Design
+	base *netio.State
+	info DesignInfo
+}
+
+// acquire locks the design for one job's exclusive use and rewinds it
+// to the upload-time snapshot. The returned release must be called when
+// the job is done with the netlist.
+func (sd *storedDesign) acquire() (*gen.Design, func(), error) {
+	sd.mu.Lock()
+	if err := sd.base.Restore(sd.gd.NL); err != nil {
+		sd.mu.Unlock()
+		return nil, nil, err
+	}
+	return sd.gd, sd.mu.Unlock, nil
+}
+
+// designStore is the named-design registry.
+type designStore struct {
+	mu sync.Mutex
+	m  map[string]*storedDesign
+}
+
+// put stores (or replaces) a design under name.
+func (ds *designStore) put(name string, gd *gen.Design) DesignInfo {
+	sd := &storedDesign{
+		gd:   gd,
+		base: netio.Capture(gd.NL),
+		info: DesignInfo{Name: name, Gates: gd.NL.NumGates(), Nets: gd.NL.NumNets()},
+	}
+	ds.mu.Lock()
+	ds.m[name] = sd
+	ds.mu.Unlock()
+	return sd.info
+}
+
+func (ds *designStore) get(name string) *storedDesign {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.m[name]
+}
+
+func (ds *designStore) list() []DesignInfo {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	infos := make([]DesignInfo, 0, len(ds.m))
+	for _, sd := range ds.m {
+		infos = append(infos, sd.info)
+	}
+	// Deterministic listing order.
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && infos[j].Name < infos[j-1].Name; j-- {
+			infos[j], infos[j-1] = infos[j-1], infos[j]
+		}
+	}
+	return infos
+}

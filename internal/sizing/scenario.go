@@ -50,10 +50,10 @@ func init() {
 		Window: "20..30, 80..",
 		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
 			stop := c.Track("synthesis")
-			n := SizeForArea(c.NL, c.Eng, a.Margin(c, 50))
+			n := SizeForArea(c.NL, c.Eng, a.Margin(c, 50), c.Interrupted)
 			stop()
 			c.Logf("status %3d: area recovery resized %d", c.Status, n)
-			return scenario.Report{Changed: n}, nil
+			return scenario.Report{Changed: n}, c.Interrupted()
 		},
 	})
 	scenario.Register(scenario.Transform{
@@ -61,19 +61,19 @@ func init() {
 		Window: "30..",
 		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
 			stop := c.Track("synthesis")
-			n := SizeForSpeed(c.NL, c.Eng, c.Im, a.Margin(c, 60), a.Int("budget", 0))
+			n := SizeForSpeed(c.NL, c.Eng, c.Im, a.Margin(c, 60), a.Int("budget", 0), c.Interrupted)
 			stop()
 			c.Logf("status %3d: speed sizing accepted %d", c.Status, n)
-			return scenario.Report{Changed: n}, nil
+			return scenario.Report{Changed: n}, c.Interrupted()
 		},
 	})
 	scenario.Register(scenario.Transform{
 		Name: "infootprint", Doc: "footprint-preserving resize (no placement perturbation; margin=60)",
 		Window: "final",
 		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
-			n := InFootprintResize(c.NL, c.Eng, a.Margin(c, 60))
+			n := InFootprintResize(c.NL, c.Eng, a.Margin(c, 60), c.Interrupted)
 			c.Logf("in-footprint resizes: %d", n)
-			return scenario.Report{Changed: n}, nil
+			return scenario.Report{Changed: n}, c.Interrupted()
 		},
 	})
 }

@@ -97,7 +97,11 @@ func DiscretizeActual(nl *netlist.Netlist, calc *delay.Calculator) int {
 // confirms a worst-slack (or TNS at equal WS) improvement. Returns the
 // number of accepted resizes. This is the evaluator loop of §1: the
 // transform proposes, the analyzer decides.
-func SizeForSpeed(nl *netlist.Netlist, eng *timing.Engine, im *image.Image, margin float64, maxAccepts int) int {
+//
+// stop, when non-nil, is polled between candidates (a safe commit
+// point: every proposed resize has been accepted or reverted); a non-nil
+// return stops the pass early with the work so far committed.
+func SizeForSpeed(nl *netlist.Netlist, eng *timing.Engine, im *image.Image, margin float64, maxAccepts int, stop func() error) int {
 	accepted := 0
 	t := nl.Lib.Tech
 	for round := 0; round < 4; round++ {
@@ -107,6 +111,9 @@ func SizeForSpeed(nl *netlist.Netlist, eng *timing.Engine, im *image.Image, marg
 		}
 		progress := false
 		for _, g := range gates {
+			if stop != nil && stop() != nil {
+				return accepted
+			}
 			if !sizable(g) || g.SizeIdx < 0 || g.SizeIdx+1 >= len(g.Cell.Sizes) {
 				continue
 			}
@@ -141,8 +148,8 @@ func SizeForSpeed(nl *netlist.Netlist, eng *timing.Engine, im *image.Image, marg
 // SizeForArea downsizes gates whose slack exceeds margin, keeping each
 // change only if the design's worst slack does not degrade. Returns the
 // number of accepted downsizes (the §5 area-recovery steps at status
-// 20–30 and >80).
-func SizeForArea(nl *netlist.Netlist, eng *timing.Engine, margin float64) int {
+// 20–30 and >80). stop, when non-nil, is polled between candidates.
+func SizeForArea(nl *netlist.Netlist, eng *timing.Engine, margin float64, stop func() error) int {
 	accepted := 0
 	wsFloor := eng.WorstSlack()
 	var cands []*netlist.Gate
@@ -152,6 +159,9 @@ func SizeForArea(nl *netlist.Netlist, eng *timing.Engine, margin float64) int {
 		}
 	})
 	for _, g := range cands {
+		if stop != nil && stop() != nil {
+			return accepted
+		}
 		if eng.GateSlack(g) < margin {
 			continue
 		}
@@ -170,11 +180,15 @@ func SizeForArea(nl *netlist.Netlist, eng *timing.Engine, margin float64) int {
 // may change to absorb the actual-vs-predicted routing mismatch, but the
 // placed footprint must not move, so the geometric width is pinned via the
 // area scale while the electrical size changes. Upsizes critical gates and
-// returns accepted changes.
-func InFootprintResize(nl *netlist.Netlist, eng *timing.Engine, margin float64) int {
+// returns accepted changes. stop, when non-nil, is polled between
+// candidates.
+func InFootprintResize(nl *netlist.Netlist, eng *timing.Engine, margin float64, stop func() error) int {
 	accepted := 0
 	gates := eng.CriticalGates(margin)
 	for _, g := range gates {
+		if stop != nil && stop() != nil {
+			return accepted
+		}
 		if !sizable(g) || g.SizeIdx < 0 || g.SizeIdx+1 >= len(g.Cell.Sizes) {
 			continue
 		}

@@ -111,7 +111,7 @@ func TestSizeForSpeedImprovesSlack(t *testing.T) {
 	if before >= 0 {
 		t.Skip("design unexpectedly meets timing")
 	}
-	n := SizeForSpeed(r.nl, r.eng, nil, 60, 0)
+	n := SizeForSpeed(r.nl, r.eng, nil, 60, 0, nil)
 	after := r.eng.WorstSlack()
 	if n > 0 && after < before {
 		t.Errorf("sizing accepted %d changes but slack worsened: %g → %g", n, before, after)
@@ -136,7 +136,7 @@ func TestSizeForAreaRecoversAreaWithoutHurtingSlack(t *testing.T) {
 	})
 	areaBefore := r.nl.TotalCellArea()
 	wsBefore := r.eng.WorstSlack()
-	n := SizeForArea(r.nl, r.eng, 50)
+	n := SizeForArea(r.nl, r.eng, 50, nil)
 	if n == 0 {
 		t.Fatal("no area recovered on a relaxed, oversized design")
 	}
@@ -153,7 +153,7 @@ func TestInFootprintResizeKeepsGeometry(t *testing.T) {
 	DiscretizeActual(r.nl, r.calc)
 	widths := map[int]float64{}
 	r.nl.Gates(func(g *netlist.Gate) { widths[g.ID] = g.Width() })
-	n := InFootprintResize(r.nl, r.eng, 60)
+	n := InFootprintResize(r.nl, r.eng, 60, nil)
 	changedElec := 0
 	r.nl.Gates(func(g *netlist.Gate) {
 		if w, ok := widths[g.ID]; ok {

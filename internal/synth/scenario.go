@@ -11,6 +11,7 @@ import (
 func forScenario(c *scenario.Context) *Optimizer {
 	return scenario.Actor(c, "synth", func() *Optimizer {
 		so := New(c.NL, c.Eng, c.Im, relocate.ForScenario(c))
+		so.Stop = c.Interrupted
 		if c.HasParam("synth_marginfrac") {
 			so.Margin = c.ParamFloat("synth_marginfrac", 0) * c.Period
 		} else if c.HasParam("synth_margin") {
@@ -29,7 +30,7 @@ func init() {
 			n := forScenario(c).CloneCritical(a.Int("budget", 0))
 			stop()
 			c.Logf("status %3d: clones %d", c.Status, n)
-			return scenario.Report{Changed: n}, nil
+			return scenario.Report{Changed: n}, c.Interrupted()
 		},
 	})
 	scenario.Register(scenario.Transform{
@@ -40,7 +41,7 @@ func init() {
 			n := forScenario(c).BufferCritical(a.Int("budget", 0))
 			stop()
 			c.Logf("status %3d: buffers %d", c.Status, n)
-			return scenario.Report{Changed: n}, nil
+			return scenario.Report{Changed: n}, c.Interrupted()
 		},
 	})
 	scenario.Register(scenario.Transform{
@@ -51,7 +52,7 @@ func init() {
 			n := forScenario(c).PinSwap(a.Int("budget", 0))
 			stop()
 			c.Logf("status %3d: pin swaps %d", c.Status, n)
-			return scenario.Report{Changed: n}, nil
+			return scenario.Report{Changed: n}, c.Interrupted()
 		},
 	})
 	scenario.Register(scenario.Transform{
@@ -62,7 +63,7 @@ func init() {
 			n := forScenario(c).Remap(a.Int("budget", 0))
 			stop()
 			c.Logf("status %3d: remaps %d", c.Status, n)
-			return scenario.Report{Changed: n}, nil
+			return scenario.Report{Changed: n}, c.Interrupted()
 		},
 	})
 	scenario.Register(scenario.Transform{
@@ -73,7 +74,7 @@ func init() {
 			n := forScenario(c).ElectricalCorrection(c.Calc)
 			stop()
 			c.Logf("status %3d: electrical correction fixed %d", c.Status, n)
-			return scenario.Report{Changed: n}, nil
+			return scenario.Report{Changed: n}, c.Interrupted()
 		},
 	})
 }

@@ -35,6 +35,11 @@ type Optimizer struct {
 	// area cost of an accepted structural change — the area term of the
 	// paper's "timing, noise and area objectives" scoring.
 	MinGain float64
+	// Stop, when non-nil, is polled between candidates (safe commit
+	// points: every proposed change has been accepted or fully undone).
+	// A non-nil return ends the pass early with the work so far kept —
+	// the scenario engine's cancellation and maxsec hooks plug in here.
+	Stop func() error
 
 	serial int // uniquifies generated instance names
 }
@@ -101,6 +106,9 @@ func (o *Optimizer) removeGate(g *netlist.Gate) {
 func (o *Optimizer) CloneCritical(maxAccepts int) int {
 	accepted, attempts := 0, 0
 	for _, n := range o.Eng.CriticalNets(o.Margin) {
+		if o.stopped() {
+			break
+		}
 		if maxAccepts > 0 && (accepted >= maxAccepts || attempts >= 4*maxAccepts) {
 			break
 		}
@@ -215,6 +223,9 @@ func centroid(pins []*netlist.Pin) (float64, float64) {
 func (o *Optimizer) BufferCritical(maxAccepts int) int {
 	accepted, attempts := 0, 0
 	for _, n := range o.Eng.CriticalNets(o.Margin) {
+		if o.stopped() {
+			break
+		}
 		if maxAccepts > 0 && (accepted >= maxAccepts || attempts >= 4*maxAccepts) {
 			break
 		}
@@ -282,6 +293,9 @@ func (o *Optimizer) PinSwap(maxAccepts int) int {
 	accepted, attempts := 0, 0
 	tau := o.NL.Lib.Tech.Tau
 	for _, g := range o.Eng.CriticalGates(o.Margin) {
+		if o.stopped() {
+			break
+		}
 		if maxAccepts > 0 && (accepted >= maxAccepts || attempts >= 6*maxAccepts) {
 			break
 		}
@@ -358,6 +372,9 @@ func (o *Optimizer) PinSwap(maxAccepts int) int {
 func (o *Optimizer) Remap(maxAccepts int) int {
 	accepted := 0
 	for _, g := range o.Eng.CriticalGates(o.Margin) {
+		if o.stopped() {
+			break
+		}
 		if maxAccepts > 0 && accepted >= maxAccepts {
 			break
 		}
@@ -507,6 +524,9 @@ func (o *Optimizer) ElectricalCorrection(calc interface{ Load(*netlist.Net) floa
 		}
 	})
 	for _, n := range nets {
+		if o.stopped() {
+			break
+		}
 		d := n.Driver()
 		if d == nil || d.Gate.IsPad() || d.Gate.SizeIdx < 0 {
 			continue
@@ -576,6 +596,11 @@ func (o *Optimizer) bufferNetUnconditional(n *netlist.Net) bool {
 	cx, cy := centroid(far)
 	o.placeNear(buf, cx, cy)
 	return true
+}
+
+// stopped reports whether the Stop hook asks the pass to end early.
+func (o *Optimizer) stopped() bool {
+	return o.Stop != nil && o.Stop() != nil
 }
 
 func clamp(v, lo, hi float64) float64 {

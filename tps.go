@@ -18,6 +18,7 @@
 package tps
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -94,6 +95,12 @@ type TraceEvent = scenario.Event
 
 // Tracer consumes scenario trace events.
 type Tracer = scenario.Tracer
+
+// EvFlowEnd is the terminal trace record an embedder (tpsflow, tpsd)
+// appends after the engine finishes, fails, or is canceled — the one
+// event a stream consumer can always wait for. The engine itself never
+// emits it.
+const EvFlowEnd = scenario.EvFlowEnd
 
 // NewJSONLTracer returns a Tracer writing one JSON object per line to w.
 func NewJSONLTracer(w io.Writer) Tracer { return scenario.NewJSONLTracer(w) }
@@ -187,6 +194,14 @@ func (d *Design) RunSPR(opt SPROptions) Metrics { return core.RunSPR(d.ctx, opt)
 // design's accept/reject counters for protected steps are afterwards
 // available via Context().Accepts / Context().Rejects.
 func (d *Design) RunScenario(s *Scenario) (Metrics, error) { return scenario.Run(d.ctx, s) }
+
+// RunScenarioContext is RunScenario under a cancellation context:
+// canceling ctx stops the flow at the next safe commit point, rolling
+// back any protected step in flight so the design stays consistent.
+// The returned error wraps ctx's error (test with errors.Is).
+func (d *Design) RunScenarioContext(ctx context.Context, s *Scenario) (Metrics, error) {
+	return scenario.RunContext(ctx, d.ctx, s)
+}
 
 // SetTrace attaches a structured trace-event consumer (nil detaches).
 // Applies to custom scenarios and the built-in flows alike.
