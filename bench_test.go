@@ -7,6 +7,7 @@
 package tps
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -492,3 +493,47 @@ func BenchmarkEvaluateOnly(b *testing.B) {
 }
 
 var _ core.Metrics // the alias must reference the real type
+
+// ---- PR 7: portfolio racing ----
+
+// BenchmarkPortfolioRace measures best-of-N multi-start racing: four
+// seed variants of the TPS flow race from one forked checkpoint at
+// widths 1, 2, and 4. CI publishes these rows as BENCH_portfolio.json.
+// The winner's identity and objective are bit-identical at every width
+// (the portfolio determinism contract), enforced across sub-benchmarks;
+// on a ≥4-core runner workers=4 approaches single-run wall time while
+// evaluating four starts.
+func BenchmarkPortfolioRace(b *testing.B) {
+	opt := DefaultTPSOptions()
+	opt.SkipRouting = true
+	opt.TransformBudget = 16
+	var baseWinner string
+	var baseObj float64
+	for wi, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var winner string
+			var obj float64
+			for i := 0; i < b.N; i++ {
+				d := NewDesign(DesignParams{Name: "race", NumGates: 400, Levels: 8, Seed: 3})
+				res, err := d.Race(context.Background(), RaceSpec{
+					Name:     "bench",
+					Entrants: TPSEntrants(4, opt, 1),
+					Workers:  w,
+				})
+				d.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				v := res.Verdicts[res.Winner]
+				winner, obj = v.Name, v.Objective
+			}
+			if wi == 0 {
+				baseWinner, baseObj = winner, obj
+			} else if winner != baseWinner || obj != baseObj {
+				b.Fatalf("workers=%d winner %s obj=%g diverged from serial %s obj=%g",
+					w, winner, obj, baseWinner, baseObj)
+			}
+			b.ReportMetric(obj, "winner-obj-ps")
+		})
+	}
+}

@@ -2,7 +2,11 @@
 // HTTP/JSON. Clients upload .tpn netlists, submit scenario scripts as
 // jobs, stream live JSONL traces, and cancel runs; the server bounds
 // concurrency with a job queue (429 on overflow) and divides an
-// analyzer-worker budget between running jobs.
+// analyzer-worker budget between running jobs. A submission with an
+// entrants array runs a portfolio race (see internal/portfolio) as one
+// job: the worker grant becomes the race width and the trace stream
+// merges every entrant's events, tagged per entrant, ending with one
+// race_verdict record and the job's terminal flow_end.
 //
 // Usage:
 //

@@ -10,7 +10,9 @@
 //	tpsflow -flow tps -gates 2000 -out placed.tpn
 //	tpsflow -flow tps -des 3 -scale 1.0 -workers 8 -cpuprofile cpu.pprof
 //	tpsflow -scenario custom.tps -gates 2000 -trace run.jsonl
+//	tpsflow -portfolio examples/portfolio/quad.race -gates 2000 -out best.tpn
 //	tpsflow -submit http://localhost:8077 -scenario custom.tps -gates 2000
+//	tpsflow -submit http://localhost:8077 -portfolio examples/portfolio/quad.race
 //	tpsflow -list-transforms
 package main
 
@@ -50,6 +52,7 @@ func run() error {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the flow to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (post-flow) to this file")
 	scenarioFile := flag.String("scenario", "", "run this scenario script instead of the built-in flows")
+	portfolioFile := flag.String("portfolio", "", "race a portfolio of scenario entrants from this spec file (see examples/portfolio)")
 	traceFile := flag.String("trace", "", "write the engine's structured trace as JSONL to this file")
 	listTransforms := flag.Bool("list-transforms", false, "list the registered transforms and exit")
 	submit := flag.String("submit", "", "submit to a tpsd server at this base URL instead of running locally")
@@ -85,6 +88,22 @@ func run() error {
 				Name: "gen", NumGates: *gates, Levels: *levels, Seed: *seed,
 			}), nil
 		}
+	}
+
+	if *portfolioFile != "" {
+		spec, err := loadRaceSpec(*portfolioFile)
+		if err != nil {
+			return err
+		}
+		if *workers > 0 {
+			spec.Workers = *workers
+		}
+		if *submit != "" {
+			return runSubmitRace(submitOpts{
+				base: *submit, workers: *workers, makeDesign: makeDesign,
+			}, spec)
+		}
+		return runPortfolio(makeDesign, spec, *traceFile, *out, *verbose)
 	}
 
 	if *submit != "" {

@@ -33,27 +33,63 @@ func runSubmit(o submitOpts) error {
 	if err != nil {
 		return err
 	}
-
-	d, err := o.makeDesign()
+	net, err := designText(o)
 	if err != nil {
 		return err
+	}
+	return submitAndStream(o.base, serve.SubmitRequest{
+		Netlist:  net,
+		Scenario: scenarioText,
+		Workers:  o.workers,
+		Seed:     o.seed,
+	})
+}
+
+// runSubmitRace ships a portfolio race to the server: the locally
+// resolved spec becomes the submission's entrant list, and the merged
+// entrant-tagged trace streams back to stdout.
+func runSubmitRace(o submitOpts, spec *tps.RaceSpec) error {
+	net, err := designText(o)
+	if err != nil {
+		return err
+	}
+	req := serve.SubmitRequest{
+		Netlist:     net,
+		Workers:     o.workers,
+		Objective:   spec.Objective,
+		DeadlineSec: spec.Deadline.Seconds(),
+	}
+	for i := range spec.Entrants {
+		e := &spec.Entrants[i]
+		req.Entrants = append(req.Entrants, serve.RaceEntrant{
+			Name: e.Name, Scenario: e.Script, Seed: e.Seed,
+			Bound: e.Bound, Params: e.Params,
+		})
+	}
+	return submitAndStream(o.base, req)
+}
+
+// designText serializes the local design selection as .tpn.
+func designText(o submitOpts) (string, error) {
+	d, err := o.makeDesign()
+	if err != nil {
+		return "", err
 	}
 	var netBuf bytes.Buffer
 	err = d.Save(&netBuf)
 	d.Close()
 	if err != nil {
-		return err
+		return "", err
 	}
+	return netBuf.String(), nil
+}
 
-	base := strings.TrimRight(o.base, "/")
+// submitAndStream posts the job, streams its trace to stdout until the
+// terminal flow_end, and reports the verdict.
+func submitAndStream(baseURL string, req serve.SubmitRequest) error {
+	base := strings.TrimRight(baseURL, "/")
 	client := &http.Client{} // no timeout: the trace stream is long-lived
 
-	req := serve.SubmitRequest{
-		Netlist:  netBuf.String(),
-		Scenario: scenarioText,
-		Workers:  o.workers,
-		Seed:     o.seed,
-	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
@@ -103,6 +139,19 @@ func runSubmit(o submitOpts) error {
 	}
 	switch info.State {
 	case serve.JobDone:
+		if r := info.Race; r != nil {
+			for _, v := range r.Verdicts {
+				fmt.Fprintf(os.Stderr, "tpsflow:   %-12s seed=%-4d %-10s obj=%g\n",
+					v.Name, v.Seed, v.Status, v.Objective)
+			}
+			if m := info.Metrics; m != nil {
+				// Deterministic winner line, mirroring the local -portfolio
+				// output so the two modes can be diffed.
+				fmt.Printf("RACE winner=%s obj=%g slack=%.0fps cycle=%.0fps wire=%.0fµm\n",
+					r.Winner, r.Verdicts[r.WinnerIndex].Objective, m.WorstSlack, m.CycleAchieved, m.SteinerWireUm)
+			}
+			return nil
+		}
 		if m := info.Metrics; m != nil {
 			fmt.Fprintf(os.Stderr, "tpsflow: job %s done: slack=%.0fps cycle=%.0fps wire=%.0fµm\n",
 				info.ID, m.WorstSlack, m.CycleAchieved, m.SteinerWireUm)

@@ -1,0 +1,44 @@
+package netio
+
+import (
+	"bytes"
+	"strings"
+
+	"tps/internal/cell"
+	"tps/internal/gen"
+)
+
+// Forker snapshots a design once and stamps out independent copies of
+// it. Write sorts nets and gates by ID, so every fork re-reads the same
+// text in the same order and receives identical netlist IDs — a forked
+// design is bit-for-bit interchangeable with its siblings, which is what
+// lets portfolio races run N scenario flows from one checkpoint and
+// compare their traced objectives meaningfully. Like the .tpn format
+// itself, the snapshot captures the design (topology, placement,
+// sizing), not transient flow state such as net weights: every fork
+// starts from the same clean bits, exactly as a serve warm re-run does.
+//
+// Forker is safe for concurrent use: the snapshot text is immutable
+// after construction and each Fork parses a private copy.
+type Forker struct {
+	text string
+	lib  *cell.Library
+}
+
+// NewForker captures d's current state. The design is read, not
+// retained; later edits to d do not affect forks.
+func NewForker(d *gen.Design) (*Forker, error) {
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		return nil, err
+	}
+	return &Forker{text: buf.String(), lib: d.NL.Lib}, nil
+}
+
+// Fork parses a fresh, fully independent copy of the captured design.
+func (f *Forker) Fork() (*gen.Design, error) {
+	return Read(strings.NewReader(f.text), f.lib)
+}
+
+// Text returns the captured .tpn snapshot.
+func (f *Forker) Text() string { return f.text }

@@ -1,0 +1,88 @@
+package netio
+
+import (
+	"bytes"
+	"testing"
+
+	"tps/internal/cell"
+	"tps/internal/gen"
+	"tps/internal/netlist"
+)
+
+// TestForkerIndependence pins the fork contract: every fork is a
+// structurally identical, fully independent design — same IDs, same
+// positions — and editing one fork never leaks into another or into
+// the captured snapshot.
+func TestForkerIndependence(t *testing.T) {
+	p := gen.Des(1, 0.02)
+	p.Seed = 11
+	base := gen.Generate(cell.Default(), p)
+	fk, err := NewForker(base)
+	if err != nil {
+		t.Fatalf("NewForker: %v", err)
+	}
+
+	a, err := fk.Fork()
+	if err != nil {
+		t.Fatalf("fork a: %v", err)
+	}
+	b, err := fk.Fork()
+	if err != nil {
+		t.Fatalf("fork b: %v", err)
+	}
+	for _, d := range []*gen.Design{a, b} {
+		if err := d.NL.Check(); err != nil {
+			t.Fatalf("forked netlist inconsistent: %v", err)
+		}
+		if d.NL.NumGates() != base.NL.NumGates() || d.NL.NumNets() != base.NL.NumNets() {
+			t.Fatalf("fork shape %d/%d != base %d/%d",
+				d.NL.NumGates(), d.NL.NumNets(), base.NL.NumGates(), base.NL.NumNets())
+		}
+	}
+
+	// Forks of sorted text must agree bit for bit — that is what makes
+	// race entrants comparable.
+	var ta, tb bytes.Buffer
+	if err := Write(&ta, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&tb, b); err != nil {
+		t.Fatal(err)
+	}
+	if ta.String() != tb.String() {
+		t.Fatalf("two forks serialize differently")
+	}
+	if ta.String() != fk.Text() {
+		t.Fatalf("fork round trip diverges from the snapshot text")
+	}
+
+	// Mutate fork a; fork b and the snapshot must not move.
+	var moved *netlist.Gate
+	a.NL.Gates(func(g *netlist.Gate) {
+		if moved == nil && !g.IsPad() && !g.Fixed {
+			moved = g
+		}
+	})
+	if moved == nil {
+		t.Fatal("no movable gate")
+	}
+	a.NL.MoveGate(moved, 1, 2)
+	var tb2 bytes.Buffer
+	if err := Write(&tb2, b); err != nil {
+		t.Fatal(err)
+	}
+	if tb2.String() != fk.Text() {
+		t.Fatalf("editing fork a changed fork b")
+	}
+	c, err := fk.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tc bytes.Buffer
+	if err := Write(&tc, c); err != nil {
+		t.Fatal(err)
+	}
+	if tc.String() != fk.Text() {
+		t.Fatalf("editing fork a changed later forks")
+	}
+}

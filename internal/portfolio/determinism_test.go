@@ -1,0 +1,150 @@
+package portfolio_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"tps/internal/gen"
+	"tps/internal/portfolio"
+	"tps/internal/scenario"
+)
+
+// The determinism regression suite (run under -race in CI): a race's
+// winner identity, the winner's Metrics, and the winner's AnalyzerStats
+// must be bit-identical at Workers=1/2/8 and under any entrant
+// permutation. Workers=1 runs entrants serially in index order, so it is
+// the reference schedule the wide runs must reproduce.
+
+// raceScript is deliberately richer than the quick flow: a protected
+// step exercises checkpoint capture/rollback inside concurrent entrants.
+const raceScript = `
+scenario det
+init {
+  qplace
+  legalize
+  detailed
+  sync
+  size_speed protect margin=60 budget=8
+  legalize
+  sync
+  evaluate flow=det
+}
+`
+
+type outcome struct {
+	winner    string
+	objective float64
+	metrics   scenario.Metrics
+	stats     scenario.AnalyzerStats
+}
+
+func raceOutcome(t *testing.T, base *gen.Design, entrants []portfolio.Entrant, workers int) outcome {
+	t.Helper()
+	// Objective wire: on this small flow the worst slack can tie across
+	// seeds (the critical path is gate-dominated), but total Steiner wire
+	// is seed-distinct — so the winner is decided by measurement, not by
+	// tie-break position.
+	res, err := portfolio.Race(context.Background(), base, portfolio.Spec{
+		Name: "det", Entrants: entrants, Workers: workers, Objective: "wire",
+	})
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	w := res.Verdicts[res.Winner]
+	m := *w.Metrics
+	m.CPUSeconds = 0 // the only timing-dependent field
+	return outcome{winner: w.Name, objective: w.Objective, metrics: m, stats: w.Stats}
+}
+
+func detEntrants() []portfolio.Entrant {
+	return []portfolio.Entrant{
+		{Name: "s1", Script: raceScript, Seed: 1},
+		{Name: "s2", Script: raceScript, Seed: 2},
+		{Name: "s3", Script: raceScript, Seed: 3},
+		{Name: "s4-b16", Script: raceScript, Seed: 4, Params: map[string]string{"budget": "16"}},
+	}
+}
+
+func TestRaceDeterministicAcrossWidths(t *testing.T) {
+	base := baseDesign(t, 21)
+	ref := raceOutcome(t, base, detEntrants(), 1)
+	for _, w := range []int{2, 8} {
+		got := raceOutcome(t, base, detEntrants(), w)
+		if got.winner != ref.winner || got.objective != ref.objective {
+			t.Fatalf("workers=%d: winner %s obj=%g, workers=1 picked %s obj=%g",
+				w, got.winner, got.objective, ref.winner, ref.objective)
+		}
+		if !reflect.DeepEqual(got.metrics, ref.metrics) {
+			t.Fatalf("workers=%d: winner metrics drifted\ngot:  %+v\nwant: %+v", w, got.metrics, ref.metrics)
+		}
+		if got.stats != ref.stats {
+			t.Fatalf("workers=%d: winner analyzer stats drifted\ngot:  %+v\nwant: %+v", w, got.stats, ref.stats)
+		}
+	}
+}
+
+func TestRaceDeterministicUnderReordering(t *testing.T) {
+	base := baseDesign(t, 21)
+	ref := raceOutcome(t, base, detEntrants(), 4)
+
+	// Reverse and rotate the entrant list: the winner is still the same
+	// flow (identified by name), with identical measurements. Only the
+	// tie-break depends on position, and seed-distinct entrants do not
+	// tie.
+	rev := detEntrants()
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	rot := detEntrants()
+	rot = append(rot[1:], rot[0])
+
+	for name, es := range map[string][]portfolio.Entrant{"reversed": rev, "rotated": rot} {
+		got := raceOutcome(t, base, es, 4)
+		if got.winner != ref.winner || got.objective != ref.objective {
+			t.Fatalf("%s: winner %s obj=%g, want %s obj=%g", name, got.winner, got.objective, ref.winner, ref.objective)
+		}
+		if !reflect.DeepEqual(got.metrics, ref.metrics) {
+			t.Fatalf("%s: winner metrics drifted", name)
+		}
+		if got.stats != ref.stats {
+			t.Fatalf("%s: winner analyzer stats drifted", name)
+		}
+	}
+}
+
+// TestRaceEntrantMatchesSoloRun: racing does not perturb the entrants.
+// Each verdict's metrics equal a standalone run of the same script and
+// seed on the same base design — the fork isolation contract, end to
+// end.
+func TestRaceEntrantMatchesSoloRun(t *testing.T) {
+	base := baseDesign(t, 33)
+	entrants := detEntrants()[:3]
+	res, err := portfolio.Race(context.Background(), base, portfolio.Spec{
+		Entrants: entrants, Workers: 3, NoEarlyStop: true,
+	})
+	if err != nil {
+		t.Fatalf("race: %v", err)
+	}
+	for i, e := range entrants {
+		s, err := scenario.Parse(raceScript)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo := baseDesign(t, 33)
+		c := scenario.NewContext(solo, e.Seed)
+		c.SetWorkers(1)
+		c.Params = e.Params
+		want, err := scenario.Run(c, s)
+		if err != nil {
+			c.Close()
+			t.Fatalf("solo run %s: %v", e.Name, err)
+		}
+		c.Close()
+		got := *res.Verdicts[i].Metrics
+		want.CPUSeconds, got.CPUSeconds = 0, 0
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("entrant %s diverged from its solo run\nrace: %+v\nsolo: %+v", e.Name, got, want)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Format renders the script back into the text grammar Parse accepts.
+// The emission is canonical — params and step arguments sorted by key,
+// floats in shortest round-trip form, default windows omitted — so
+// formatting is idempotent from the first application on:
+//
+//	f1 := Parse(text).Format()
+//	f2 := Parse(f1).Format()   // f2 == f1, for every text that parses
+//
+// That property is what the parser fuzz/property tests pin; it also
+// makes Format a stable serialization for tooling that mutates scripts
+// (the autotuning roadmap item) and for diffing scenario variants.
+func (s *Script) Format() string {
+	var b strings.Builder
+	b.WriteString("scenario ")
+	b.WriteString(s.Name)
+	b.WriteByte('\n')
+	for _, k := range sortedKeys(s.Params) {
+		b.WriteString("set ")
+		b.WriteString(k)
+		b.WriteByte(' ')
+		b.WriteString(s.Params[k])
+		b.WriteByte('\n')
+	}
+	for i := range s.Blocks {
+		s.Blocks[i].format(&b)
+	}
+	return b.String()
+}
+
+func (bl *Block) format(b *strings.Builder) {
+	label := bl.Label
+	if label == "" {
+		// Hand-built blocks may carry only the kind.
+		switch bl.Kind {
+		case BlockStatus:
+			label = "status"
+		case BlockRepeat:
+			label = "repeat"
+		default:
+			label = "init"
+		}
+	}
+	b.WriteString(label)
+	if bl.Kind == BlockRepeat {
+		b.WriteByte(' ')
+		b.WriteString(strconv.Itoa(bl.Max))
+		if bl.Stall != 0 {
+			b.WriteString(" stall=")
+			b.WriteString(formatFloat(bl.Stall))
+		}
+	}
+	b.WriteString(" {\n")
+	for _, st := range bl.Steps {
+		b.WriteString("  ")
+		b.WriteString(st.format())
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+}
+
+// format renders one step line in canonical clause order: window,
+// condition, once, protect, tol, maxsec, then sorted k=v args.
+func (st *Step) format() string {
+	var b strings.Builder
+	b.WriteString(st.Name)
+	switch {
+	case st.GE:
+		b.WriteString(" at ")
+		b.WriteString(strconv.Itoa(st.Lo))
+		b.WriteByte('+')
+	case st.Lo != -1 || st.Hi != 101:
+		b.WriteString(" at ")
+		if st.Lo != -1 {
+			b.WriteString(strconv.Itoa(st.Lo))
+		}
+		b.WriteString("..")
+		if st.Hi != 101 {
+			b.WriteString(strconv.Itoa(st.Hi))
+		}
+	}
+	if st.WhenMode != "" {
+		if st.WhenNeq {
+			b.WriteString(" when mode!=")
+		} else {
+			b.WriteString(" when mode=")
+		}
+		b.WriteString(st.WhenMode)
+	}
+	if st.Once {
+		b.WriteString(" once")
+	}
+	if st.Protect {
+		b.WriteString(" protect")
+	}
+	if st.Tol != 0 {
+		b.WriteString(" tol=")
+		b.WriteString(formatFloat(st.Tol))
+	}
+	if st.MaxSec != 0 {
+		b.WriteString(" maxsec=")
+		b.WriteString(formatFloat(st.MaxSec))
+	}
+	for _, k := range sortedKeys(st.Args) {
+		b.WriteByte(' ')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(st.Args[k])
+	}
+	return b.String()
+}
+
+// formatFloat emits the shortest decimal that round-trips through
+// strconv.ParseFloat, so Format∘Parse is lossless for numeric clauses.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys(m map[string]string) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -32,6 +32,12 @@ const (
 	// EvScenarioEnd is the engine's last word; EvFlowEnd is the
 	// embedder's, carrying the overall error text when the run died.
 	EvFlowEnd EventType = "flow_end"
+	// EvRaceVerdict is the one record a portfolio race appends after all
+	// entrants have ended: the winning entrant (Winner/Objective) and the
+	// race objective name (Detail). A race stream therefore carries one
+	// tagged flow per entrant, each closed by its own EvFlowEnd, then
+	// exactly one EvRaceVerdict.
+	EvRaceVerdict EventType = "race_verdict"
 )
 
 // Event is one structured trace record. Numeric fields are filled only
@@ -77,6 +83,13 @@ type Event struct {
 	// step (larger is better).
 	ObjBefore *float64 `json:"obj_before,omitempty"`
 	ObjAfter  *float64 `json:"obj_after,omitempty"`
+	// Entrant tags every record of one portfolio-race entrant's flow.
+	// Empty on single-flow runs; the race tracer stamps it.
+	Entrant string `json:"entrant,omitempty"`
+	// Winner / Objective name the winning entrant and its objective value
+	// (race_verdict only).
+	Winner    string   `json:"winner,omitempty"`
+	Objective *float64 `json:"objective,omitempty"`
 }
 
 // Tracer consumes the engine's event stream. Emit is called from the

@@ -33,6 +33,36 @@ type SubmitRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// Seed is the flow seed (default 1).
 	Seed int64 `json:"seed,omitempty"`
+
+	// Entrants, when non-empty, turns the job into a portfolio race: the
+	// design is forked once per entrant, the entrants run concurrently
+	// (the worker grant becomes the race width), and the job's Metrics
+	// are the winner's. The trace stream then carries every entrant's
+	// events tagged with the entrant name, one flow_end per entrant, a
+	// race_verdict record, and finally the job's own terminal flow_end.
+	// Scenario becomes the default script for entrants that set none.
+	Entrants []RaceEntrant `json:"entrants,omitempty"`
+	// Objective is the race objective: "slack" (default), "tns", "wire".
+	Objective string `json:"objective,omitempty"`
+	// DeadlineSec caps the race's wall clock (0 = none).
+	DeadlineSec float64 `json:"deadline_sec,omitempty"`
+}
+
+// RaceEntrant is one competitor in a race submission.
+type RaceEntrant struct {
+	// Name tags the entrant's trace events and verdict (default
+	// "e<index>"; must be unique within the race).
+	Name string `json:"name,omitempty"`
+	// Scenario is the entrant's script (default: the request's).
+	Scenario string `json:"scenario,omitempty"`
+	// Seed is the entrant's flow seed (default: its 1-based index, so a
+	// list of otherwise-identical entrants races seed variants).
+	Seed int64 `json:"seed,omitempty"`
+	// Bound optionally tightens the entrant's best-possible objective
+	// for early-stop; see portfolio.Entrant.Bound.
+	Bound *float64 `json:"bound,omitempty"`
+	// Params overlays the entrant script's `set` parameters.
+	Params map[string]string `json:"params,omitempty"`
 }
 
 // SubmitResponse acknowledges an accepted job.
@@ -58,7 +88,36 @@ type JobInfo struct {
 	FinishedAt *time.Time `json:"finished_at,omitempty"`
 
 	// Metrics is the flow's final evaluation (terminal done state only).
+	// For a race job these are the winner's metrics.
 	Metrics *scenario.Metrics `json:"metrics,omitempty"`
+
+	// Race summarizes a portfolio-race job (nil for single-flow jobs;
+	// set once the race has ended).
+	Race *RaceInfo `json:"race,omitempty"`
+}
+
+// RaceInfo is a race job's outcome summary.
+type RaceInfo struct {
+	Objective string `json:"objective"`
+	// Winner is the winning entrant's name; empty with WinnerIndex -1
+	// when no entrant finished.
+	Winner      string        `json:"winner,omitempty"`
+	WinnerIndex int           `json:"winner_index"`
+	Verdicts    []RaceVerdict `json:"verdicts"`
+}
+
+// RaceVerdict is one entrant's outcome in a race summary.
+type RaceVerdict struct {
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+	// Status is finished | failed | dominated | deadline | canceled.
+	Status string `json:"status"`
+	// Objective is the judged value (finished entrants only).
+	Objective float64 `json:"objective"`
+	DurMs     float64 `json:"dur_ms"`
+	Error     string  `json:"error,omitempty"`
+	Accepts   int     `json:"accepts,omitempty"`
+	Rejects   int     `json:"rejects,omitempty"`
 }
 
 // DesignInfo describes one stored design.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"tps/internal/gen"
+	"tps/internal/portfolio"
 	"tps/internal/scenario"
 )
 
@@ -16,8 +17,9 @@ type Job struct {
 	ID         string
 	DesignName string
 	script     *scenario.Script
-	gd         *gen.Design   // inline submission: private design
-	sd         *storedDesign // stored-design submission
+	race       *portfolio.Spec // race submission (script is then nil)
+	gd         *gen.Design     // inline submission: private design
+	sd         *storedDesign   // stored-design submission
 	seed       int64
 	want       int // requested fan-out width
 
@@ -27,6 +29,7 @@ type Job struct {
 	state            string
 	err              string
 	metrics          *scenario.Metrics
+	raceInfo         *RaceInfo
 	accepts, rejects int
 	granted          int
 	cancel           context.CancelFunc // set while running
@@ -43,7 +46,7 @@ func (j *Job) info() JobInfo {
 	in := JobInfo{
 		ID: j.ID, Design: j.DesignName, State: j.state, Error: j.err,
 		Workers: j.granted, Accepts: j.accepts, Rejects: j.rejects,
-		QueuedAt: j.queuedAt, Metrics: j.metrics,
+		QueuedAt: j.queuedAt, Metrics: j.metrics, Race: j.raceInfo,
 	}
 	if !j.startedAt.IsZero() {
 		t := j.startedAt
@@ -108,6 +111,22 @@ func (s *Server) runJob(j *Job) {
 		defer release()
 	}
 
+	if j.race != nil {
+		// A race job: the worker grant becomes the race width (each
+		// entrant runs its analyzers serially), the hub receives the
+		// merged entrant-tagged stream, and the job is judged by the
+		// winner. The design lock (stored submissions) is held for the
+		// whole race; the race itself only reads gd through its snapshot.
+		spec := *j.race
+		spec.Name = j.ID
+		spec.Workers = granted
+		spec.EntrantWorkers = 1
+		spec.Trace = j.hub
+		res, err := portfolio.Race(ctx, gd, spec)
+		j.finishRace(res, err)
+		return
+	}
+
 	// Fresh analyzer stack per run: correctness over analyzer warmness.
 	// The warm part of a stored-design re-run is the parsed netlist
 	// object graph, not incremental analyzer state.
@@ -123,6 +142,37 @@ func (s *Server) runJob(j *Job) {
 		return
 	}
 	j.finish(&m, accepts, rejects, nil)
+}
+
+// finishRace summarizes a race result into the job's terminal state:
+// the winner's metrics and counters become the job's, and the full
+// per-entrant verdict table is published as RaceInfo. A race that no
+// entrant finished fails with ErrNoWinner; an aborted race is canceled.
+func (j *Job) finishRace(res *portfolio.Result, err error) {
+	var m *scenario.Metrics
+	var accepts, rejects int
+	var ri *RaceInfo
+	if res != nil {
+		ri = &RaceInfo{Objective: res.Objective, WinnerIndex: res.Winner}
+		for i := range res.Verdicts {
+			v := &res.Verdicts[i]
+			ri.Verdicts = append(ri.Verdicts, RaceVerdict{
+				Name: v.Name, Seed: v.Seed, Status: v.Status,
+				Objective: v.Objective, DurMs: v.DurMs, Error: v.Err,
+				Accepts: v.Accepts, Rejects: v.Rejects,
+			})
+		}
+		if res.Winner >= 0 {
+			w := &res.Verdicts[res.Winner]
+			ri.Winner = w.Name
+			m = w.Metrics
+			accepts, rejects = w.Accepts, w.Rejects
+		}
+	}
+	j.mu.Lock()
+	j.raceInfo = ri
+	j.mu.Unlock()
+	j.finish(m, accepts, rejects, err)
 }
 
 // finish moves the job to its terminal state and closes the trace

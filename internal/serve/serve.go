@@ -21,6 +21,14 @@
 // re-parse) or carry an inline .tpn netlist. When the queue is full the
 // server answers 429 so load sheds at the edge instead of piling up;
 // while draining it answers 503.
+//
+// A submission carrying Entrants is a portfolio race — the premium job
+// shape: the design is forked once per entrant, the entrants race
+// concurrently inside the job's worker grant, the trace stream merges
+// every entrant's tagged events (one flow_end per entrant, then one
+// race_verdict, then the job's terminal flow_end), and the job's
+// metrics are the winner's. See internal/portfolio for the
+// determinism and early-stop rules.
 package serve
 
 import (
@@ -37,6 +45,7 @@ import (
 
 	"tps/internal/cell"
 	"tps/internal/netio"
+	"tps/internal/portfolio"
 	"tps/internal/scenario"
 )
 
@@ -205,25 +214,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "decode request: "+err.Error())
 		return
 	}
-	if req.Scenario == "" {
-		writeErr(w, http.StatusBadRequest, "missing scenario script")
-		return
-	}
-	script, err := scenario.Parse(req.Scenario)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "parse scenario: "+err.Error())
-		return
-	}
-
 	j := &Job{
-		script: script,
-		seed:   req.Seed,
-		want:   req.Workers,
-		hub:    newTraceHub(),
-		state:  JobQueued,
+		seed:  req.Seed,
+		want:  req.Workers,
+		hub:   newTraceHub(),
+		state: JobQueued,
 	}
 	if j.seed == 0 {
 		j.seed = 1
+	}
+	if len(req.Entrants) > 0 {
+		spec, err := raceSpecFromRequest(&req)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		j.race = spec
+	} else {
+		if req.Scenario == "" {
+			writeErr(w, http.StatusBadRequest, "missing scenario script")
+			return
+		}
+		script, err := scenario.Parse(req.Scenario)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "parse scenario: "+err.Error())
+			return
+		}
+		j.script = script
 	}
 	switch {
 	case req.Design != "" && req.Netlist != "":
@@ -271,6 +288,57 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, SubmitResponse{JobID: j.ID, State: JobQueued})
+}
+
+// raceSpecFromRequest validates a race submission and builds the
+// portfolio spec the job will run. Per-run fields (Name, Workers,
+// Trace) are filled in at execution time.
+func raceSpecFromRequest(req *SubmitRequest) (*portfolio.Spec, error) {
+	if len(req.Entrants) > portfolio.MaxEntrants {
+		return nil, fmt.Errorf("%d entrants exceeds the limit of %d", len(req.Entrants), portfolio.MaxEntrants)
+	}
+	switch req.Objective {
+	case "", "slack", "tns", "wire":
+	default:
+		return nil, fmt.Errorf("unknown objective %q (want slack, tns, or wire)", req.Objective)
+	}
+	if req.DeadlineSec < 0 {
+		return nil, fmt.Errorf("negative deadline_sec")
+	}
+	spec := &portfolio.Spec{
+		Objective: req.Objective,
+		Deadline:  time.Duration(req.DeadlineSec * float64(time.Second)),
+	}
+	names := make(map[string]int, len(req.Entrants))
+	for i, e := range req.Entrants {
+		name := e.Name
+		if name == "" {
+			name = fmt.Sprintf("e%d", i)
+		}
+		if prev, dup := names[name]; dup {
+			return nil, fmt.Errorf("entrants %d and %d share the name %q", prev, i, name)
+		}
+		names[name] = i
+		text := e.Scenario
+		if text == "" {
+			text = req.Scenario
+		}
+		if text == "" {
+			return nil, fmt.Errorf("entrant %q has no scenario and the request sets no default", name)
+		}
+		if _, err := scenario.Parse(text); err != nil {
+			return nil, fmt.Errorf("entrant %q: %s", name, err.Error())
+		}
+		seed := e.Seed
+		if seed == 0 {
+			seed = int64(i + 1)
+		}
+		spec.Entrants = append(spec.Entrants, portfolio.Entrant{
+			Name: e.Name, Script: text, Seed: seed,
+			Bound: e.Bound, Params: e.Params,
+		})
+	}
+	return spec, nil
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {

@@ -32,6 +32,7 @@ import (
 	"tps/internal/netlist"
 	"tps/internal/noise"
 	"tps/internal/place"
+	"tps/internal/portfolio"
 	"tps/internal/power"
 	"tps/internal/route"
 	"tps/internal/scenario"
@@ -128,6 +129,40 @@ func TPSScript(opt TPSOptions) string { return core.TPSScript(opt) }
 // SPRScript renders the built-in baseline flow as a scenario script.
 func SPRScript(opt SPROptions) string { return core.SPRScript(opt) }
 
+// RaceSpec configures a portfolio race: N scenario entrants forked from
+// one design checkpoint, run concurrently, judged by a traced objective
+// with deterministic seed-ordered tie-breaking. See internal/portfolio.
+type RaceSpec = portfolio.Spec
+
+// RaceEntrant is one competitor in a portfolio race.
+type RaceEntrant = portfolio.Entrant
+
+// RaceVerdict is one entrant's outcome.
+type RaceVerdict = portfolio.Verdict
+
+// RaceResult is a race outcome: winner index, adopted design text, and
+// per-entrant verdicts.
+type RaceResult = portfolio.Result
+
+// ErrNoWinner reports a race in which no entrant finished.
+var ErrNoWinner = portfolio.ErrNoWinner
+
+// EvRaceVerdict is the single race-verdict record a portfolio race
+// appends to its trace stream after every entrant's flow_end.
+const EvRaceVerdict = scenario.EvRaceVerdict
+
+// ParseRaceSpec parses the `tpsflow -portfolio` spec format. resolve
+// maps each entrant's flow=/script= reference to scenario text.
+func ParseRaceSpec(text string, resolve func(flow, script string) (string, error)) (*RaceSpec, error) {
+	return portfolio.ParseSpec(text, resolve)
+}
+
+// TPSEntrants builds a seed-varied family of TPS entrants — the
+// quickest useful portfolio: same script, seeds baseSeed…baseSeed+n−1.
+func TPSEntrants(n int, opt TPSOptions, baseSeed int64) []RaceEntrant {
+	return core.TPSEntrants(n, opt, baseSeed)
+}
+
 // Design is a netlist with its physical frame, constraint, and analyzer
 // stack. One Design owns its netlist; run exactly one flow per Design and
 // regenerate (same seed = same design) to run another.
@@ -206,6 +241,16 @@ func (d *Design) RunScenarioContext(ctx context.Context, s *Scenario) (Metrics, 
 // SetTrace attaches a structured trace-event consumer (nil detaches).
 // Applies to custom scenarios and the built-in flows alike.
 func (d *Design) SetTrace(t Tracer) { d.ctx.Trace = t }
+
+// Race forks the design's current state into one copy per entrant and
+// races the entrants concurrently; the design itself is only read. The
+// winner's identity and Metrics are bit-identical at any RaceSpec
+// Workers width; adopt the winner by loading Result.WinnerDesign. On
+// ctx cancellation every entrant is cooperatively interrupted and the
+// error wraps ctx's; ErrNoWinner means no entrant finished.
+func (d *Design) Race(ctx context.Context, spec RaceSpec) (*RaceResult, error) {
+	return portfolio.Race(ctx, d.gd, spec)
+}
 
 // Evaluate measures the design as it stands, without running a flow.
 func (d *Design) Evaluate() Metrics { return d.ctx.Evaluate("current") }
