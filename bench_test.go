@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"tps/internal/cell"
 	"tps/internal/clockscan"
@@ -534,6 +535,69 @@ func BenchmarkPortfolioRace(b *testing.B) {
 					w, winner, obj, baseWinner, baseObj)
 			}
 			b.ReportMetric(obj, "winner-obj-ps")
+		})
+	}
+}
+
+// ---- PR 8: netlist scale ----
+
+// BenchmarkNetlistScale measures the ID-indexed netlist layout at bulk
+// design sizes: the per-op cost (and allocs/op) of a complete analyzer
+// pass — timing flush, Steiner totals, congestion, delay — over a 50k-
+// and a 200k-gate design with every cache invalidated, plus — at 50k,
+// where it fits a CI budget — one full TPS status round (every
+// status-block transform executed once, step=100) reported as
+// tps-round-ms. CI publishes these rows as BENCH_netlist.json; the
+// slab/arena acceptance bar is allocs/op in the thousands (was millions
+// before the layout refactor).
+func BenchmarkNetlistScale(b *testing.B) {
+	for _, ng := range []int{50000, 200000} {
+		b.Run(fmt.Sprintf("gates=%d", ng), func(b *testing.B) {
+			d := NewDesign(DesignParams{Name: "scale", NumGates: ng, Levels: 20, Seed: 42})
+			defer d.Close()
+			c := d.Context()
+			c.SetWorkers(1)
+			j := 0
+			c.NL.Gates(func(g *netlist.Gate) {
+				if !g.Fixed {
+					c.NL.MoveGate(g, float64(j%400)*5, float64(j/400%400)*5)
+					j++
+				}
+			})
+			_ = c.Evaluate("prime")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Eng.InvalidateAll()
+				c.St.InvalidateAll()
+				c.Cong.InvalidateAll()
+				c.Calc.InvalidateAll()
+				_ = c.Evaluate("pass")
+			}
+			b.StopTimer()
+			if ng > 50000 {
+				return
+			}
+			// One TPS status round: the real status block, run once.
+			opt := DefaultTPSOptions()
+			opt.Step = 100
+			opt.SkipRouting = true
+			sc, err := ParseScenario(TPSScript(opt))
+			if err != nil {
+				b.Fatal(err)
+			}
+			kept := sc.Blocks[:0]
+			for _, blk := range sc.Blocks {
+				if blk.Label == "status" {
+					kept = append(kept, blk)
+				}
+			}
+			sc.Blocks = kept
+			t0 := time.Now()
+			if _, err := d.RunScenario(sc); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(time.Since(t0).Milliseconds()), "tps-round-ms")
 		})
 	}
 }

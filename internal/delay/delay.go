@@ -94,11 +94,65 @@ type Calculator struct {
 	// IntraBinFactor scales the floor (default 0.35).
 	IntraBinFactor float64
 
-	nl   *netlist.Netlist
-	nets []*netTiming
+	nl *netlist.Netlist
+	// nets memoizes per-net solutions by net ID; a slot is meaningful only
+	// while its valid flag is set. Invalidation clears the flag and keeps
+	// the netTiming object so the next solve reuses its sinkDelay storage.
+	nets  []*netTiming
+	valid []bool
+
+	// scratch holds per-chunk solver state for Prepare (chunk k uses
+	// scratch[k]; par chunking is deterministic) plus slot 0 for the lazy
+	// serial path.
+	scratch []solveScratch
+	// staleScratch backs the stale-net collection in Prepare.
+	staleScratch []*netlist.Net
 
 	// Solves counts RC solutions performed (incrementality metric).
 	Solves int
+}
+
+// solveScratch is the per-worker working set of solve: node capacitances,
+// DFS state, moments, and a flat CSR adjacency of the net's Steiner tree
+// (replacing the per-call Tree.Adjacency allocation).
+type solveScratch struct {
+	capAt, parentLen, subCap, subCM1, pathLen, m1, m2 []float64
+	parent, order, stack                              []int
+	adjOff, adjNbr                                    []int32
+	adjLen                                            []float64
+}
+
+// ensureNodes sizes the node-indexed buffers for nn tree nodes.
+func (s *solveScratch) ensureNodes(nn int) {
+	if cap(s.capAt) < nn {
+		s.capAt = make([]float64, nn)
+		s.parentLen = make([]float64, nn)
+		s.subCap = make([]float64, nn)
+		s.subCM1 = make([]float64, nn)
+		s.pathLen = make([]float64, nn)
+		s.m1 = make([]float64, nn)
+		s.m2 = make([]float64, nn)
+		s.parent = make([]int, nn)
+	}
+	s.capAt = s.capAt[:nn]
+	s.parentLen = s.parentLen[:nn]
+	s.subCap = s.subCap[:nn]
+	s.subCM1 = s.subCM1[:nn]
+	s.pathLen = s.pathLen[:nn]
+	s.m1 = s.m1[:nn]
+	s.m2 = s.m2[:nn]
+	s.parent = s.parent[:nn]
+	for i := 0; i < nn; i++ {
+		s.capAt[i] = 0
+		s.parentLen[i] = 0
+		s.subCM1[i] = 0
+		s.pathLen[i] = 0
+		s.m1[i] = 0
+		s.m2[i] = 0
+		s.parent[i] = -2
+	}
+	s.order = s.order[:0]
+	s.stack = s.stack[:0]
 }
 
 // NewCalculator builds a calculator over nl using the shared Steiner cache.
@@ -136,8 +190,8 @@ func (c *Calculator) SetBinDim(d float64) {
 
 // InvalidateAll drops every cached RC solution.
 func (c *Calculator) InvalidateAll() {
-	for i := range c.nets {
-		c.nets[i] = nil
+	for i := range c.valid {
+		c.valid[i] = false
 	}
 }
 
@@ -186,23 +240,20 @@ func (c *Calculator) ArcDelay(g *netlist.Gate, z *netlist.Pin) float64 {
 }
 
 // PinArrivalDelay returns the wire delay component for sink pin p on its
-// net (convenience lookup that locates the pin index).
+// net (O(1): the pin knows its position in the net's pin order).
 func (c *Calculator) PinArrivalDelay(p *netlist.Pin) float64 {
 	if c.Mode != Actual || p.Net == nil {
 		return 0
 	}
-	pins := p.Net.Pins()
-	for i, q := range pins {
-		if q == p {
-			return c.WireDelay(p.Net, i)
-		}
-	}
-	return 0
+	return c.WireDelay(p.Net, p.NetPos())
 }
 
 func (c *Calculator) grow(id int) {
 	for len(c.nets) <= id {
 		c.nets = append(c.nets, nil)
+	}
+	for len(c.valid) <= id {
+		c.valid = append(c.valid, false)
 	}
 }
 
@@ -221,15 +272,21 @@ func (c *Calculator) Prepare(workers int) {
 	}
 	c.St.PrepareAll(workers)
 	c.grow(c.nl.NetCap() - 1)
-	var stale []*netlist.Net
+	stale := c.staleScratch[:0]
 	c.nl.Nets(func(n *netlist.Net) {
-		if c.nets[n.ID] == nil {
+		if !c.valid[n.ID] {
 			stale = append(stale, n)
 		}
 	})
-	par.For(workers, len(stale), func(_, lo, hi int) {
+	c.staleScratch = stale
+	nc := par.NumChunks(workers, len(stale))
+	for len(c.scratch) < nc {
+		c.scratch = append(c.scratch, solveScratch{})
+	}
+	par.For(workers, len(stale), func(chunk, lo, hi int) {
+		s := &c.scratch[chunk]
 		for _, n := range stale[lo:hi] {
-			c.nets[n.ID] = c.solve(n)
+			c.solveInto(n, s)
 		}
 	})
 	c.Solves += len(stale)
@@ -238,26 +295,45 @@ func (c *Calculator) Prepare(workers int) {
 // net solves (or returns the memoized) RC view of net n.
 func (c *Calculator) net(n *netlist.Net) *netTiming {
 	c.grow(n.ID)
-	if nt := c.nets[n.ID]; nt != nil {
-		return nt
+	if c.valid[n.ID] {
+		return c.nets[n.ID]
 	}
-	nt := c.solve(n)
-	c.nets[n.ID] = nt
+	if len(c.scratch) == 0 {
+		c.scratch = append(c.scratch, solveScratch{})
+	}
+	nt := c.solveInto(n, &c.scratch[0])
 	c.Solves++
 	return nt
 }
 
-// solve runs the moment computation on the net's Steiner topology.
-func (c *Calculator) solve(n *netlist.Net) *netTiming {
+// solveInto runs the moment computation on the net's Steiner topology,
+// writing the result into the net's (possibly recycled) cache slot using
+// the given scratch. Safe to call concurrently for disjoint nets with
+// distinct scratch; it only writes c.nets[n.ID]/c.valid[n.ID], which grow
+// pre-sized before any fan-out.
+func (c *Calculator) solveInto(n *netlist.Net, s *solveScratch) *netTiming {
 	pins := n.Pins()
-	nt := &netTiming{sinkDelay: make([]float64, len(pins))}
+	nt := c.nets[n.ID]
+	if nt == nil {
+		nt = &netTiming{}
+		c.nets[n.ID] = nt
+	}
+	if cap(nt.sinkDelay) < len(pins) {
+		nt.sinkDelay = make([]float64, len(pins))
+	}
+	nt.sinkDelay = nt.sinkDelay[:len(pins)]
+	for i := range nt.sinkDelay {
+		nt.sinkDelay[i] = 0
+	}
+	nt.load = 0
+	nt.maxPath = 0
+	c.valid[n.ID] = true
 
-	driverIdx := -1
-	for i, p := range pins {
-		if p.Dir() == cell.Output {
-			driverIdx = i
-			break
-		}
+	var driverIdx int
+	if d := n.Driver(); d != nil {
+		driverIdx = d.NetPos()
+	} else {
+		driverIdx = -1
 	}
 	if driverIdx < 0 || len(pins) < 2 {
 		nt.load = n.SinkCap()
@@ -273,12 +349,53 @@ func (c *Calculator) solve(n *netlist.Net) *netTiming {
 			extraCap = (floor - t.Length) * c.Tech.CwFfPerUm
 		}
 	}
-	adj := t.Adjacency()
 	nn := len(t.Nodes)
+	s.ensureNodes(nn)
+
+	// Flat CSR adjacency of the tree, in the same per-node neighbor order
+	// Tree.Adjacency produces (edge order), without its allocations.
+	if cap(s.adjOff) < nn+1 {
+		s.adjOff = make([]int32, nn+1)
+	}
+	s.adjOff = s.adjOff[:nn+1]
+	for i := range s.adjOff {
+		s.adjOff[i] = 0
+	}
+	for _, e := range t.Edges {
+		s.adjOff[e.U+1]++
+		s.adjOff[e.V+1]++
+	}
+	for i := 1; i <= nn; i++ {
+		s.adjOff[i] += s.adjOff[i-1]
+	}
+	ne2 := 2 * len(t.Edges)
+	if cap(s.adjNbr) < ne2 {
+		s.adjNbr = make([]int32, ne2)
+		s.adjLen = make([]float64, ne2)
+	}
+	s.adjNbr = s.adjNbr[:ne2]
+	s.adjLen = s.adjLen[:ne2]
+	// fill using a moving cursor per node, then restore offsets
+	cursor := s.parent // reuse: parent is all -2, rewritten below anyway
+	for i := 0; i < nn; i++ {
+		cursor[i] = int(s.adjOff[i])
+	}
+	for _, e := range t.Edges {
+		d := steiner.Dist(t.Nodes[e.U], t.Nodes[e.V])
+		s.adjNbr[cursor[e.U]] = int32(e.V)
+		s.adjLen[cursor[e.U]] = d
+		cursor[e.U]++
+		s.adjNbr[cursor[e.V]] = int32(e.U)
+		s.adjLen[cursor[e.V]] = d
+		cursor[e.V]++
+	}
+	for i := 0; i < nn; i++ {
+		cursor[i] = -2 // restore parent sentinel
+	}
 
 	// Node capacitances: pin caps at pin nodes plus half of each incident
 	// edge's wire cap (distributed wire approximation).
-	capAt := make([]float64, nn)
+	capAt := s.capAt
 	for i, p := range pins {
 		capAt[i] += p.Cap()
 	}
@@ -289,30 +406,30 @@ func (c *Calculator) solve(n *netlist.Net) *netTiming {
 	}
 
 	// DFS from the driver: children order, subtree caps, then moments.
-	parent := make([]int, nn)
-	parentLen := make([]float64, nn)
-	order := make([]int, 0, nn)
-	for i := range parent {
-		parent[i] = -2
-	}
+	parent := s.parent
+	parentLen := s.parentLen
+	order := s.order[:0]
 	parent[driverIdx] = -1
-	stack := []int{driverIdx}
+	stack := append(s.stack[:0], driverIdx)
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		order = append(order, u)
-		for _, nb := range adj[u] {
-			if parent[nb.Node] == -2 {
-				parent[nb.Node] = u
-				parentLen[nb.Node] = nb.Len
-				stack = append(stack, nb.Node)
+		for k := s.adjOff[u]; k < s.adjOff[u+1]; k++ {
+			nb := int(s.adjNbr[k])
+			if parent[nb] == -2 {
+				parent[nb] = u
+				parentLen[nb] = s.adjLen[k]
+				stack = append(stack, nb)
 			}
 		}
 	}
+	s.order = order
+	s.stack = stack
 
-	subCap := make([]float64, nn)
-	subCM1 := make([]float64, nn) // Σ cap·m1 over subtree, filled later
-	pathLen := make([]float64, nn)
+	subCap := s.subCap
+	subCM1 := s.subCM1 // Σ cap·m1 over subtree, filled later
+	pathLen := s.pathLen
 	copy(subCap, capAt)
 	for i := len(order) - 1; i >= 1; i-- {
 		u := order[i]
@@ -320,7 +437,7 @@ func (c *Calculator) solve(n *netlist.Net) *netTiming {
 	}
 	nt.load = subCap[driverIdx] + extraCap
 
-	m1 := make([]float64, nn)
+	m1 := s.m1
 	for _, u := range order[1:] {
 		r := parentLen[u] * c.Tech.RwOhmPerUm
 		m1[u] = m1[parent[u]] + rcPS(r, subCap[u])
@@ -335,7 +452,7 @@ func (c *Calculator) solve(n *netlist.Net) *netTiming {
 		u := order[i]
 		subCM1[parent[u]] += subCM1[u]
 	}
-	m2 := make([]float64, nn)
+	m2 := s.m2
 	for _, u := range order[1:] {
 		r := parentLen[u] * c.Tech.RwOhmPerUm
 		m2[u] = m2[parent[u]] + rcPS(r, subCM1[u])
@@ -365,8 +482,8 @@ func (c *Calculator) solve(n *netlist.Net) *netTiming {
 
 // Invalidate drops the cached solution of net n.
 func (c *Calculator) Invalidate(n *netlist.Net) {
-	if n.ID < len(c.nets) {
-		c.nets[n.ID] = nil
+	if n.ID < len(c.valid) {
+		c.valid[n.ID] = false
 	}
 }
 
@@ -397,3 +514,10 @@ func (c *Calculator) GateAdded(*netlist.Gate) {}
 
 // GateRemoved implements netlist.Observer.
 func (c *Calculator) GateRemoved(*netlist.Gate) {}
+
+// NetlistCompacted implements netlist.CompactObserver: net IDs were
+// reassigned, so every memoized solution is dropped.
+func (c *Calculator) NetlistCompacted() {
+	c.nets = c.nets[:0]
+	c.valid = c.valid[:0]
+}

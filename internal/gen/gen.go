@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 
 	"tps/internal/cell"
 	"tps/internal/netlist"
@@ -129,10 +130,10 @@ func Generate(lib *cell.Library, p Params) *Design {
 	var piNets []*netlist.Net
 	var piPads []*netlist.Gate
 	for i := 0; i < p.NumPI; i++ {
-		pad := nl.AddGate(fmt.Sprintf("pi%d", i), padCell)
+		pad := nl.AddGate("pi"+strconv.Itoa(i), padCell)
 		pad.SizeIdx = 0
 		pad.Fixed = true
-		n := nl.AddNet(fmt.Sprintf("pi%d_n", i))
+		n := nl.AddNet("pi" + strconv.Itoa(i) + "_n")
 		nl.Connect(pad.Pin("O"), n)
 		piNets = append(piNets, n)
 		piPads = append(piPads, pad)
@@ -141,9 +142,9 @@ func Generate(lib *cell.Library, p Params) *Design {
 	var regs []*netlist.Gate
 	var regQNets []*netlist.Net
 	for i := 0; i < numRegs; i++ {
-		r := nl.AddGate(fmt.Sprintf("reg%d", i), dffCell)
+		r := nl.AddGate("reg"+strconv.Itoa(i), dffCell)
 		r.SizeIdx = 0
-		n := nl.AddNet(fmt.Sprintf("reg%d_q", i))
+		n := nl.AddNet("reg" + strconv.Itoa(i) + "_q")
 		nl.Connect(r.Pin("Q"), n)
 		regs = append(regs, r)
 		regQNets = append(regQNets, n)
@@ -229,7 +230,7 @@ func Generate(lib *cell.Library, p Params) *Design {
 		}
 		for i := 0; i < count; i++ {
 			c := pickFunc()
-			g := nl.AddGate(fmt.Sprintf("u%d", gid), c)
+			g := nl.AddGate("u"+strconv.Itoa(gid), c)
 			gid++
 			for _, pin := range g.Pins {
 				if pin.Dir() != cell.Input {
@@ -237,7 +238,7 @@ func Generate(lib *cell.Library, p Params) *Design {
 				}
 				nl.Connect(pin, pickSource(lvl))
 			}
-			n := nl.AddNet(fmt.Sprintf("u%d_z", gid-1))
+			n := nl.AddNet("u" + strconv.Itoa(gid-1) + "_z")
 			nl.Connect(g.Output(), n)
 			sources[lvl] = append(sources[lvl], n)
 			unused[lvl] = append(unused[lvl], n)
@@ -269,7 +270,7 @@ func Generate(lib *cell.Library, p Params) *Design {
 	// --- primary outputs ---
 	var poPads []*netlist.Gate
 	for i := 0; i < p.NumPO; i++ {
-		pad := nl.AddGate(fmt.Sprintf("po%d", i), padCell)
+		pad := nl.AddGate("po"+strconv.Itoa(i), padCell)
 		pad.SizeIdx = 0
 		pad.Fixed = true
 		nl.Connect(pad.Pin("I"), pickSink())
@@ -281,7 +282,7 @@ func Generate(lib *cell.Library, p Params) *Design {
 			if n.NumPins() > 1 {
 				continue
 			}
-			pad := nl.AddGate(fmt.Sprintf("po_x%d", len(poPads)), padCell)
+			pad := nl.AddGate("po_x"+strconv.Itoa(len(poPads)), padCell)
 			pad.SizeIdx = 0
 			pad.Fixed = true
 			nl.Connect(pad.Pin("I"), n)
@@ -297,10 +298,10 @@ func Generate(lib *cell.Library, p Params) *Design {
 	nl.Connect(clkPad.Pin("O"), clkRoot)
 	numBufs := (numRegs + p.RegsPerClockBuffer - 1) / p.RegsPerClockBuffer
 	for b := 0; b < numBufs; b++ {
-		cb := nl.AddGate(fmt.Sprintf("clkbuf%d", b), clkbufCell)
+		cb := nl.AddGate("clkbuf"+strconv.Itoa(b), clkbufCell)
 		cb.SizeIdx = 1
 		nl.Connect(cb.Pin("A"), clkRoot)
-		leaf := nl.AddNet(fmt.Sprintf("clk_leaf%d", b))
+		leaf := nl.AddNet("clk_leaf" + strconv.Itoa(b))
 		nl.Connect(cb.Output(), leaf)
 		for i := b; i < numRegs; i += numBufs {
 			nl.Connect(regs[i].ClockPin(), leaf)

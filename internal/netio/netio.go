@@ -129,9 +129,9 @@ func Read(r io.Reader, lib *cell.Library) (*gen.Design, error) {
 			if len(f) > 2 {
 				switch f[2] {
 				case "clock":
-					n.Kind = netlist.Clock
+					d.NL.SetNetKind(n, netlist.Clock)
 				case "scan":
-					n.Kind = netlist.Scan
+					d.NL.SetNetKind(n, netlist.Scan)
 				default:
 					return nil, fmt.Errorf("netio: line %d: unknown net kind %q", lineNo, f[2])
 				}

@@ -164,7 +164,7 @@ func (s *State) Restore(nl *netlist.Netlist) error {
 		n := nl.NetByID(id)
 		nl.SetNetWeight(n, ns.weight)
 		n.BaseWeight = ns.baseWeight
-		n.Kind = ns.kind
+		nl.SetNetKind(n, ns.kind)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import "tps/internal/cell"
 // net in the §4.5 sense), Signal otherwise. Generators call it once;
 // transforms that restitch clock or scan nets call it again afterwards.
 func (nl *Netlist) ClassifyKinds() {
+	changed := false
 	nl.Nets(func(n *Net) {
 		kind := Signal
 		anySink, allScan := false, true
@@ -27,6 +28,23 @@ func (nl *Netlist) ClassifyKinds() {
 		if kind != Clock && anySink && allScan {
 			kind = Scan
 		}
-		n.Kind = kind
+		if n.Kind != kind {
+			n.Kind = kind
+			changed = true
+		}
 	})
+	if changed {
+		nl.KindEpoch++
+	}
+}
+
+// SetNetKind changes a net's kind and bumps the kind epoch when the value
+// actually changes. All net-kind mutation must go through here (or
+// ClassifyKinds) so the timing engine can trust its levelization.
+func (nl *Netlist) SetNetKind(n *Net, k NetKind) {
+	if n.Kind == k {
+		return
+	}
+	n.Kind = k
+	nl.KindEpoch++
 }

@@ -1,0 +1,101 @@
+package netlist
+
+import "fmt"
+
+// CompactObserver is the additional contract an Observer must satisfy for
+// Netlist.Compact to be legal while it is registered. Compact renumbers
+// every gate, net, and pin ID, which silently invalidates any ID-indexed
+// state an observer keeps; NetlistCompacted fires once per observer, after
+// the renumbering is complete, and the observer must drop all ID-indexed
+// caches and treat the whole design as dirty. Compact panics if any
+// registered observer does not implement this interface — better a loud
+// failure than an analyzer reading slot 17 for a gate that is now ID 9.
+type CompactObserver interface {
+	NetlistCompacted()
+}
+
+// Compact squeezes tombstoned (Removed) gates and nets out of the ID space
+// and slabs, renumbering the survivors densely while preserving relative ID
+// order (so ID-ordered iteration — and everything deterministic built on it
+// — visits the same live objects in the same sequence). Pin IDs are
+// reissued in new-gate-ID/port order. Long synth-heavy flows grow GateCap/
+// NetCap/NumPins monotonically, and every analyzer sizes dense arrays by
+// those bounds; Compact resets the bounds to the live population.
+//
+// Compact is deliberately never called by the built-in flows: renumbering
+// invalidates netio.State checkpoints captured earlier (Restore revives by
+// ID), and shrinking NetCap changes the fixed-topology summation-tree shape
+// analyzers use for deterministic reductions, so metrics after a Compact
+// are only reproducible relative to the compacted state. Call it between
+// scenario steps, outside any protected region, when no checkpoint of the
+// old numbering will ever be restored.
+func (nl *Netlist) Compact() {
+	nl.assertNoBatch("Compact")
+	for _, o := range nl.observers {
+		if _, ok := o.(CompactObserver); !ok {
+			panic(fmt.Sprintf("netlist: observer %T does not implement CompactObserver; cannot Compact", o))
+		}
+	}
+
+	// Squeeze gates, renumbering survivors in place.
+	liveGates := nl.gates[:0]
+	for _, g := range nl.gates {
+		if g == nil || g.Removed {
+			if g != nil {
+				g.ID = -1
+				for _, p := range g.Pins {
+					p.ID = -1
+				}
+			}
+			continue
+		}
+		g.ID = len(liveGates)
+		liveGates = append(liveGates, g)
+	}
+	for i := len(liveGates); i < len(nl.gates); i++ {
+		nl.gates[i] = nil // release tail slots of the shared backing array
+	}
+	nl.gates = liveGates
+
+	// Squeeze nets the same way.
+	liveNets := nl.nets[:0]
+	for _, n := range nl.nets {
+		if n == nil || n.Removed {
+			if n != nil {
+				n.ID = -1
+			}
+			continue
+		}
+		n.ID = len(liveNets)
+		liveNets = append(liveNets, n)
+	}
+	for i := len(liveNets); i < len(nl.nets); i++ {
+		nl.nets[i] = nil
+	}
+	nl.nets = liveNets
+
+	// Reissue pin IDs densely and rebuild every slab.
+	nl.posX = nl.posX[:0]
+	nl.posY = nl.posY[:0]
+	nl.pinIndex = nl.pinIndex[:0]
+	nl.pinGate = nl.pinGate[:0]
+	nl.nextPin = 0
+	for _, g := range nl.gates {
+		nl.posX = append(nl.posX, g.X)
+		nl.posY = append(nl.posY, g.Y)
+		for _, p := range g.Pins {
+			p.ID = nl.nextPin
+			nl.nextPin++
+		}
+		nl.registerPins(g)
+	}
+
+	nl.numGates = len(nl.gates)
+	nl.numNets = len(nl.nets)
+	nl.csrValid = false
+	nl.Edits++
+
+	for _, o := range nl.observers {
+		o.(CompactObserver).NetlistCompacted()
+	}
+}

@@ -1,0 +1,298 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tps/internal/cell"
+)
+
+// compactRecorder is a full observer that records the compaction callback.
+type compactRecorder struct {
+	events    int
+	compacted int
+	// liveAtNotify captures NumPins at notification time, proving the
+	// callback fires after renumbering completes.
+	pinsAtNotify int
+	nl           *Netlist
+}
+
+func (r *compactRecorder) GateMoved(*Gate)   { r.events++ }
+func (r *compactRecorder) GateResized(*Gate) { r.events++ }
+func (r *compactRecorder) NetChanged(*Net)   { r.events++ }
+func (r *compactRecorder) GateAdded(*Gate)   { r.events++ }
+func (r *compactRecorder) GateRemoved(*Gate) { r.events++ }
+func (r *compactRecorder) NetlistCompacted() {
+	r.compacted++
+	r.pinsAtNotify = r.nl.NumPins()
+}
+
+// plainObserver deliberately lacks NetlistCompacted.
+type plainObserver struct{}
+
+func (plainObserver) GateMoved(*Gate)   {}
+func (plainObserver) GateResized(*Gate) {}
+func (plainObserver) NetChanged(*Net)   {}
+func (plainObserver) GateAdded(*Gate)   {}
+func (plainObserver) GateRemoved(*Gate) {}
+
+// TestCompactContract pins down the Compact observer contract: dense
+// renumbering in preserved relative order, slabs resized to the live
+// population, and exactly one NetlistCompacted per observer, fired after
+// the renumbering is complete.
+func TestCompactContract(t *testing.T) {
+	nl := newNL()
+	inv := nl.Lib.Cell("INV")
+	var gates []*Gate
+	var nets []*Net
+	for i := 0; i < 10; i++ {
+		gates = append(gates, nl.AddGate("g", inv))
+		nets = append(nets, nl.AddNet("n"))
+	}
+	for i := 0; i < 9; i++ {
+		nl.Connect(gates[i].Output(), nets[i])
+		nl.Connect(gates[i+1].Pins[0], nets[i])
+	}
+	for _, i := range []int{1, 4, 7} {
+		nl.RemoveGate(gates[i])
+	}
+	nl.RemoveNet(nets[9])
+
+	rec := &compactRecorder{nl: nl}
+	nl.Observe(rec)
+	defer nl.Unobserve(rec)
+
+	var orderBefore []*Gate
+	nl.Gates(func(g *Gate) { orderBefore = append(orderBefore, g) })
+
+	nl.Compact()
+
+	if rec.compacted != 1 {
+		t.Fatalf("NetlistCompacted fired %d times, want 1", rec.compacted)
+	}
+	if rec.pinsAtNotify != nl.NumPins() {
+		t.Fatalf("notification fired before renumbering settled: saw %d pins, final %d", rec.pinsAtNotify, nl.NumPins())
+	}
+	if nl.GateCap() != nl.NumGates() || nl.NetCap() != nl.NumNets() {
+		t.Fatalf("caps not dense after Compact: gates %d/%d nets %d/%d",
+			nl.GateCap(), nl.NumGates(), nl.NetCap(), nl.NumNets())
+	}
+	var orderAfter []*Gate
+	id := 0
+	nl.Gates(func(g *Gate) {
+		orderAfter = append(orderAfter, g)
+		if g.ID != id {
+			t.Fatalf("gate IDs not dense: got %d want %d", g.ID, id)
+		}
+		id++
+	})
+	if len(orderAfter) != len(orderBefore) {
+		t.Fatalf("live gate count changed: %d -> %d", len(orderBefore), len(orderAfter))
+	}
+	for i := range orderAfter {
+		if orderAfter[i] != orderBefore[i] {
+			t.Fatalf("relative gate order changed at %d", i)
+		}
+	}
+	// Pin IDs reissued densely in gate/port order, slabs consistent.
+	want := 0
+	nl.Gates(func(g *Gate) {
+		for _, p := range g.Pins {
+			if p.ID != want {
+				t.Fatalf("pin ID %d, want %d", p.ID, want)
+			}
+			if nl.PinByID(p.ID) != p {
+				t.Fatalf("PinByID(%d) mismatch", p.ID)
+			}
+			want++
+		}
+	})
+	if nl.NumPins() != want {
+		t.Fatalf("NumPins %d, want %d", nl.NumPins(), want)
+	}
+	if err := nl.Check(); err != nil {
+		t.Fatalf("Check after Compact: %v", err)
+	}
+}
+
+func TestCompactPanicsWithoutCompactObserver(t *testing.T) {
+	nl := newNL()
+	nl.AddGate("g", nl.Lib.Cell("INV"))
+	nl.Observe(plainObserver{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Compact with a plain observer did not panic")
+		}
+	}()
+	nl.Compact()
+}
+
+// TestDriverCacheMatchesScan is the driver-pin cache property test: under
+// randomized interleaved edits (connect, disconnect, pin swaps, gate
+// removal/revival), every live net's cached Driver() must equal a fresh
+// scan of its pins.
+func TestDriverCacheMatchesScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := newNL()
+		masters := []*cell.Cell{nl.Lib.Cell("INV"), nl.Lib.Cell("NAND2"), nl.Lib.Cell("DFF")}
+		var gates []*Gate
+		var nets []*Net
+		check := func() bool {
+			ok := true
+			nl.Nets(func(n *Net) {
+				if n.Driver() != n.scanDriver() {
+					t.Logf("seed %d: net %d cached driver diverged", seed, n.ID)
+					ok = false
+				}
+			})
+			return ok
+		}
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(7) {
+			case 0:
+				gates = append(gates, nl.AddGate("g", masters[rng.Intn(len(masters))]))
+			case 1:
+				nets = append(nets, nl.AddNet("n"))
+			case 2:
+				if len(gates) > 0 && len(nets) > 0 {
+					g := gates[rng.Intn(len(gates))]
+					n := nets[rng.Intn(len(nets))]
+					if g.Removed || n.Removed {
+						continue
+					}
+					p := g.Pins[rng.Intn(len(g.Pins))]
+					if p.Net == nil && (p.Dir() != cell.Output || n.Driver() == nil) {
+						nl.Connect(p, n)
+					}
+				}
+			case 3:
+				if len(gates) > 0 {
+					if g := gates[rng.Intn(len(gates))]; !g.Removed {
+						nl.Disconnect(g.Pins[rng.Intn(len(g.Pins))])
+					}
+				}
+			case 4:
+				if len(gates) > 0 && len(nets) > 0 {
+					g := gates[rng.Intn(len(gates))]
+					n := nets[rng.Intn(len(nets))]
+					if g.Removed || n.Removed {
+						continue
+					}
+					p := g.Pins[rng.Intn(len(g.Pins))]
+					if p.Net != nil && (p.Dir() != cell.Output || n.Driver() == nil || p.Net == n) {
+						nl.MovePin(p, n)
+					}
+				}
+			case 5:
+				if len(gates) > 0 && rng.Intn(4) == 0 {
+					if g := gates[rng.Intn(len(gates))]; !g.Removed {
+						nl.RemoveGate(g)
+					}
+				}
+			case 6:
+				if len(gates) > 0 && rng.Intn(4) == 0 {
+					if g := gates[rng.Intn(len(gates))]; g.Removed {
+						nl.ReviveGate(g)
+					}
+				}
+			}
+			if op%25 == 0 && !check() {
+				return false
+			}
+		}
+		return check()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPinCSRInterleavedEdits fuzzes the lazily rebuilt net→pin CSR against
+// the object graph: after random bursts of interleaved edits, the CSR view
+// fetched mid-sequence must always match net pin order exactly.
+func TestPinCSRInterleavedEdits(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := newNL()
+		masters := []*cell.Cell{nl.Lib.Cell("INV"), nl.Lib.Cell("NAND2"), nl.Lib.Cell("NOR3")}
+		var gates []*Gate
+		var nets []*Net
+		verify := func() bool {
+			off, pins := nl.PinCSR()
+			if len(off) != nl.NetCap()+1 {
+				t.Logf("seed %d: off len %d != NetCap+1 %d", seed, len(off), nl.NetCap()+1)
+				return false
+			}
+			ok := true
+			nl.Nets(func(n *Net) {
+				row := pins[off[n.ID]:off[n.ID+1]]
+				np := n.Pins()
+				if len(row) != len(np) {
+					t.Logf("seed %d: net %d row len %d != %d", seed, n.ID, len(row), len(np))
+					ok = false
+					return
+				}
+				for i, p := range np {
+					if int(row[i]) != p.ID {
+						t.Logf("seed %d: net %d row[%d]=%d != %d", seed, n.ID, i, row[i], p.ID)
+						ok = false
+						return
+					}
+				}
+			})
+			return ok
+		}
+		for burst := 0; burst < 12; burst++ {
+			for op := 0; op < 20; op++ {
+				switch rng.Intn(6) {
+				case 0:
+					gates = append(gates, nl.AddGate("g", masters[rng.Intn(len(masters))]))
+				case 1:
+					nets = append(nets, nl.AddNet("n"))
+				case 2, 3:
+					if len(gates) > 0 && len(nets) > 0 {
+						g := gates[rng.Intn(len(gates))]
+						n := nets[rng.Intn(len(nets))]
+						if g.Removed || n.Removed {
+							continue
+						}
+						p := g.Pins[rng.Intn(len(g.Pins))]
+						if p.Net == nil && (p.Dir() != cell.Output || n.Driver() == nil) {
+							nl.Connect(p, n)
+						}
+					}
+				case 4:
+					if len(gates) > 0 {
+						if g := gates[rng.Intn(len(gates))]; !g.Removed {
+							nl.Disconnect(g.Pins[rng.Intn(len(g.Pins))])
+						}
+					}
+				case 5:
+					if len(gates) > 0 && rng.Intn(5) == 0 {
+						if g := gates[rng.Intn(len(gates))]; !g.Removed {
+							nl.RemoveGate(g)
+						}
+					}
+				}
+			}
+			// Interleave: fetch the CSR mid-sequence (forcing rebuilds keyed
+			// on Edits), then keep editing.
+			if !verify() {
+				return false
+			}
+		}
+		// A fetch with no intervening edits must be the cached view.
+		off1, pins1 := nl.PinCSR()
+		off2, pins2 := nl.PinCSR()
+		if &off1[0] != &off2[0] || (len(pins1) > 0 && &pins1[0] != &pins2[0]) {
+			t.Logf("seed %d: CSR rebuilt without an edit", seed)
+			return false
+		}
+		return verify()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

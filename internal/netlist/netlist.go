@@ -54,6 +54,11 @@ type Pin struct {
 // Port returns the cell port this pin instantiates.
 func (p *Pin) Port() *cell.Port { return &p.Gate.Cell.Ports[p.PortIdx] }
 
+// NetPos returns the pin's index in its net's pin order (the position
+// Net.Pins()[i] == p holds at), or -1 while unattached. Analyzers use it
+// for O(1) per-pin lookups into per-net arrays.
+func (p *Pin) NetPos() int { return p.netPos }
+
 // Dir returns the pin direction.
 func (p *Pin) Dir() cell.Dir { return p.dir }
 
@@ -197,6 +202,11 @@ type Net struct {
 	BaseWeight float64
 	Kind       NetKind
 	Removed    bool
+	// driver caches the output pin driving the net, maintained by
+	// Connect/Disconnect so Driver() never scans. Exact whenever the net
+	// has at most one attached output pin (the Check() invariant);
+	// transient multi-driver states return the earliest-connected output.
+	driver *Pin
 }
 
 // Pins returns the net's pins. The returned slice must not be mutated.
@@ -206,7 +216,11 @@ func (n *Net) Pins() []*Pin { return n.pins }
 func (n *Net) NumPins() int { return len(n.pins) }
 
 // Driver returns the output pin driving the net, or nil for undriven nets.
-func (n *Net) Driver() *Pin {
+func (n *Net) Driver() *Pin { return n.driver }
+
+// scanDriver is the pre-cache linear scan, kept for cache maintenance on
+// disconnect and for Check()/property tests to validate the cache against.
+func (n *Net) scanDriver() *Pin {
 	for _, p := range n.pins {
 		if p.Dir() == cell.Output {
 			return p
@@ -271,9 +285,34 @@ type Netlist struct {
 	// BeginMoveBatch).
 	batchMoved []bool
 
+	// KindEpoch counts net-kind changes (SetNetKind, ClassifyKinds). Net
+	// kinds gate which edges exist in the timing graph, so the timing
+	// engine watches this epoch to drop its incremental levelization when
+	// a kind flips under it. Code must mutate Net.Kind through SetNetKind
+	// (or ClassifyKinds), never by writing the field.
+	KindEpoch uint64
 	// Edits counts topology-changing mutations; analyzers use it to
 	// detect when levelization must be redone.
 	Edits uint64
+
+	// Arenas back the object graph with dense chunked storage (see
+	// arena.go): objects allocated together sit together, so ID-order
+	// walks are near-sequential in memory.
+	gateArena   arena[Gate]
+	netArena    arena[Net]
+	pinArena    arena[Pin]
+	pinPtrArena arena[*Pin]
+
+	// ID-indexed hot-state slabs (see slab.go).
+	posX, posY []float64 // gate center by gate ID; MoveGate is sole writer
+	pinIndex   []*Pin    // pin object by pin ID
+	pinGate    []int32   // owning gate ID by pin ID
+
+	// Lazily rebuilt CSR view of net→pin membership, keyed on Edits.
+	csrValid bool
+	csrEdits uint64
+	csrOff   []int32
+	csrPin   []int32
 }
 
 // New returns an empty netlist over lib.
@@ -385,19 +424,30 @@ func (nl *Netlist) NetByID(id int) *Net {
 // their smallest size and fixed by the caller.
 func (nl *Netlist) AddGate(name string, c *cell.Cell) *Gate {
 	nl.assertNoBatch("AddGate")
-	g := &Gate{
-		ID:        len(nl.gates),
-		Name:      name,
-		Cell:      c,
-		SizeIdx:   -1,
-		Gain:      4,
-		AreaScale: 1,
-	}
+	g := nl.gateArena.alloc()
+	g.ID = len(nl.gates)
+	g.Name = name
+	g.Cell = c
+	g.SizeIdx = -1
+	g.Gain = 4
+	g.AreaScale = 1
+	np := len(c.Ports)
+	pins := nl.pinArena.allocN(np)
+	g.Pins = nl.pinPtrArena.allocN(np)
 	for pi := range c.Ports {
-		g.Pins = append(g.Pins, &Pin{ID: nl.nextPin, Gate: g, PortIdx: pi, netPos: -1, dir: c.Ports[pi].Dir})
+		p := &pins[pi]
+		p.ID = nl.nextPin
+		p.Gate = g
+		p.PortIdx = pi
+		p.netPos = -1
+		p.dir = c.Ports[pi].Dir
+		g.Pins[pi] = p
 		nl.nextPin++
 	}
 	nl.gates = append(nl.gates, g)
+	nl.posX = append(nl.posX, 0)
+	nl.posY = append(nl.posY, 0)
+	nl.registerPins(g)
 	nl.numGates++
 	nl.Edits++
 	for _, o := range nl.observers {
@@ -408,7 +458,11 @@ func (nl *Netlist) AddGate(name string, c *cell.Cell) *Gate {
 
 // AddNet creates an empty net.
 func (nl *Netlist) AddNet(name string) *Net {
-	n := &Net{ID: len(nl.nets), Name: name, Weight: 1, BaseWeight: 1}
+	n := nl.netArena.alloc()
+	n.ID = len(nl.nets)
+	n.Name = name
+	n.Weight = 1
+	n.BaseWeight = 1
 	nl.nets = append(nl.nets, n)
 	nl.numNets++
 	nl.Edits++
@@ -423,6 +477,9 @@ func (nl *Netlist) Connect(p *Pin, n *Net) {
 	p.Net = n
 	p.netPos = len(n.pins)
 	n.pins = append(n.pins, p)
+	if n.driver == nil && p.dir == cell.Output {
+		n.driver = p
+	}
 	nl.Edits++
 	nl.notifyNet(n)
 }
@@ -439,6 +496,9 @@ func (nl *Netlist) Disconnect(p *Pin) {
 	n.pins = n.pins[:last]
 	p.Net = nil
 	p.netPos = -1
+	if n.driver == p {
+		n.driver = n.scanDriver()
+	}
 	nl.Edits++
 	nl.notifyNet(n)
 }
@@ -522,6 +582,7 @@ func (nl *Netlist) MoveGate(g *Gate, x, y float64) {
 		return
 	}
 	g.X, g.Y = x, y
+	nl.posX[g.ID], nl.posY[g.ID] = x, y
 	g.Placed = true
 	if nl.batchMoved != nil {
 		// Distinct gates touch distinct slots, so concurrent movers that
@@ -709,14 +770,40 @@ func (nl *Netlist) Check() error {
 		if drivers > 1 {
 			return fmt.Errorf("net %s has %d drivers", n.Name, drivers)
 		}
+		if n.driver != n.scanDriver() {
+			return fmt.Errorf("net %s driver cache does not match scan", n.Name)
+		}
 	}
 	for _, g := range nl.gates {
 		if g == nil || g.Removed {
 			continue
 		}
+		if nl.posX[g.ID] != g.X || nl.posY[g.ID] != g.Y {
+			return fmt.Errorf("gate %s position slab (%g,%g) != (%g,%g)", g.Name, nl.posX[g.ID], nl.posY[g.ID], g.X, g.Y)
+		}
 		for _, p := range g.Pins {
 			if p.Net != nil && p.Net.Removed {
 				return fmt.Errorf("gate %s pin %s attached to removed net %s", g.Name, p.Name(), p.Net.Name)
+			}
+			if nl.pinIndex[p.ID] != p || nl.pinGate[p.ID] != int32(g.ID) {
+				return fmt.Errorf("gate %s pin %s slab index broken", g.Name, p.Name())
+			}
+		}
+	}
+	if nl.csrValid && nl.csrEdits == nl.Edits {
+		off, pins := nl.csrOff, nl.csrPin
+		for _, n := range nl.nets {
+			if n == nil || n.Removed {
+				continue
+			}
+			row := pins[off[n.ID]:off[n.ID+1]]
+			if len(row) != len(n.pins) {
+				return fmt.Errorf("net %s CSR row length %d != %d", n.Name, len(row), len(n.pins))
+			}
+			for i, p := range n.pins {
+				if row[i] != int32(p.ID) {
+					return fmt.Errorf("net %s CSR row[%d]=%d != pin %d", n.Name, i, row[i], p.ID)
+				}
 			}
 		}
 	}

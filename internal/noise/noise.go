@@ -202,6 +202,7 @@ func Fix(a *Analyzer, eng *timing.Engine, maxRepairs int) int {
 	nl := a.NL
 	repaired := 0
 	bc := nl.Lib.First(cell.FuncBuf)
+	var sinkScratch []*netlist.Pin // reused across repair candidates
 	for _, n := range a.Violations() {
 		if maxRepairs > 0 && repaired >= maxRepairs {
 			break
@@ -229,7 +230,8 @@ func Fix(a *Analyzer, eng *timing.Engine, maxRepairs int) int {
 		}
 		// Buffer split for long victims still failing.
 		if !fixed && n.NumPins() >= 3 && bc != nil {
-			sinks := n.Sinks(nil)
+			sinkScratch = n.Sinks(sinkScratch[:0])
+			sinks := sinkScratch
 			far := sinks[len(sinks)/2:]
 			buf := nl.AddGate(n.Name+"_nbuf", bc)
 			buf.SizeIdx = bc.SizeIndex(4)

@@ -271,3 +271,36 @@ func TestWorkerInvariance(t *testing.T) {
 		}
 	}
 }
+
+// TestTieCodeMatchesLookAhead drives full Bipartition runs over random
+// weighted hypergraphs with the fmPass tie memo cross-checked against the
+// reference lookAheadGain on every evaluation (tieCheck panics on the
+// first diverging bit).
+func TestTieCodeMatchesLookAhead(t *testing.T) {
+	tieCheck = true
+	defer func() { tieCheck = false }()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(100)
+		h := &Hypergraph{NumV: n, Fixed: make([]int8, n)}
+		for i := range h.Fixed {
+			h.Fixed[i] = -1
+		}
+		h.Fixed[0] = 0
+		h.Fixed[1] = 1
+		for i := 0; i < 3*n; i++ {
+			deg := 2 + rng.Intn(6)
+			var net []int32
+			for j := 0; j < deg; j++ {
+				net = append(net, int32(rng.Intn(n)))
+			}
+			h.Nets = append(h.Nets, net)
+			h.Weight = append(h.Weight, 0.25+rng.Float64())
+		}
+		Bipartition(h, DefaultOptions(seed))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

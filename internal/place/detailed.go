@@ -199,12 +199,13 @@ func DetailedPlace(nl *netlist.Netlist, st *steiner.Cache, chipW, chipH float64,
 
 	runRow := func(row []*netlist.Gate) int {
 		acc := 0
+		var sc windowScorer // reused by every window in this row
 		for start := 0; start < len(row); start += opt.WindowSize / 2 {
 			end := start + opt.WindowSize
 			if end > len(row) {
 				end = len(row)
 			}
-			acc += optimizeWindow(nl, st, row[start:end], opt, score)
+			acc += optimizeWindow(nl, st, row[start:end], opt, score, &sc)
 			if end == len(row) {
 				break
 			}
@@ -279,30 +280,52 @@ func DetailedPlace(nl *netlist.Netlist, st *steiner.Cache, chipW, chipH float64,
 // ascending net ID order, so delta and full-rescore evaluation take
 // exactly the same accept/reject decisions.
 type windowScorer struct {
-	nets     []*netlist.Net  // window nets in ascending ID order
-	contrib  []float64       // cached weight·HPWL, parallel to nets
-	gateNets map[int][]int32 // gate ID → indices into nets
-	mark     []int           // epoch stamps for affected-set dedup
+	nets     []*netlist.Net // window nets in ascending ID order
+	contrib  []float64      // cached weight·HPWL, parallel to nets
+	gateSlot map[int]int32  // gate ID → build-time window slot
+	gateOff  []int32        // CSR: slot → [gateOff[s], gateOff[s+1]) in gateIdx
+	gateIdx  []int32        // concatenated per-slot net indices
+	mark     []int          // epoch stamps for affected-set dedup
 	epoch    int
 	aff      []int32 // scratch: affected net indices, ascending
 	newVals  []float64
 	posBuf   []float64 // scratch: span gate positions before a trial
 	pts      []steiner.Point
 	fresh    bool // reference mode: ignore the cache on the before side
+
+	// permutation scratch (tryPermuteDelta)
+	group, best []*netlist.Gate
+	perm        []int
+
+	order, inv []int32        // net-ID-sort scratch
+	sorted     []*netlist.Net // net-ID-sort scratch
 }
 
 func newWindowScorer(win []*netlist.Gate, opt DetailedOptions) *windowScorer {
-	s := &windowScorer{
-		gateNets: make(map[int][]int32, len(win)),
-		fresh:    opt.fullRescore,
+	s := &windowScorer{}
+	s.reset(win, opt)
+	return s
+}
+
+// reset rebuilds the scorer's state for a new window, reusing every slice
+// and map from the previous window on this scorer.
+func (s *windowScorer) reset(win []*netlist.Gate, opt DetailedOptions) {
+	s.fresh = opt.fullRescore
+	s.nets = s.nets[:0]
+	s.gateIdx = s.gateIdx[:0]
+	s.gateOff = append(s.gateOff[:0], 0)
+	if s.gateSlot == nil {
+		s.gateSlot = make(map[int]int32, len(win))
+	} else {
+		clear(s.gateSlot)
 	}
 	maxPins := opt.MaxScoreNetPins
 	if maxPins < 2 {
 		maxPins = 64
 	}
-	seen := map[int]int32{} // net ID → index into s.nets
-	for _, g := range win {
-		var idxs []int32
+	for slot, g := range win {
+		s.gateSlot[g.ID] = int32(slot)
+		rowStart := len(s.gateIdx)
 		for _, p := range g.Pins {
 			n := p.Net
 			if n == nil || n.Weight <= 0 {
@@ -311,52 +334,72 @@ func newWindowScorer(win []*netlist.Gate, opt DetailedOptions) *windowScorer {
 			if np := len(n.Pins()); np < 2 || np > maxPins {
 				continue
 			}
-			idx, ok := seen[n.ID]
-			if !ok {
+			// Net index: nets are few per window, linear scan beats a map.
+			idx := int32(-1)
+			for k, m := range s.nets {
+				if m == n {
+					idx = int32(k)
+					break
+				}
+			}
+			if idx < 0 {
 				idx = int32(len(s.nets))
-				seen[n.ID] = idx
 				s.nets = append(s.nets, n)
 			}
 			dup := false
-			for _, x := range idxs {
+			for _, x := range s.gateIdx[rowStart:] {
 				if x == idx {
 					dup = true
 					break
 				}
 			}
 			if !dup {
-				idxs = append(idxs, idx)
+				s.gateIdx = append(s.gateIdx, idx)
 			}
 		}
-		s.gateNets[g.ID] = idxs
+		s.gateOff = append(s.gateOff, int32(len(s.gateIdx)))
 	}
 	// Ascending net ID order fixes the summation order; remap per-gate
 	// index lists to the sorted positions.
-	order := make([]int32, len(s.nets))
-	for i := range order {
-		order[i] = int32(i)
+	s.order = s.order[:0]
+	for i := range s.nets {
+		s.order = append(s.order, int32(i))
 	}
-	sort.Slice(order, func(a, b int) bool { return s.nets[order[a]].ID < s.nets[order[b]].ID })
-	inv := make([]int32, len(s.nets))
-	sorted := make([]*netlist.Net, len(s.nets))
-	for newIdx, oldIdx := range order {
-		inv[oldIdx] = int32(newIdx)
-		sorted[newIdx] = s.nets[oldIdx]
+	sort.Slice(s.order, func(a, b int) bool { return s.nets[s.order[a]].ID < s.nets[s.order[b]].ID })
+	s.inv = grow32(s.inv, len(s.nets))
+	s.sorted = s.sorted[:0]
+	for newIdx, oldIdx := range s.order {
+		s.inv[oldIdx] = int32(newIdx)
+		s.sorted = append(s.sorted, s.nets[oldIdx])
 	}
-	s.nets = sorted
-	for gid, idxs := range s.gateNets {
-		for k, x := range idxs {
-			idxs[k] = inv[x]
-		}
-		s.gateNets[gid] = idxs
+	s.nets, s.sorted = s.sorted, s.nets[:0]
+	for k, x := range s.gateIdx {
+		s.gateIdx[k] = s.inv[x]
 	}
-	s.contrib = make([]float64, len(s.nets))
-	s.newVals = make([]float64, len(s.nets))
-	s.mark = make([]int, len(s.nets))
+	s.contrib = growF(s.contrib, len(s.nets))
+	s.newVals = growF(s.newVals, len(s.nets))
+	s.mark = s.mark[:0]
+	for range s.nets {
+		s.mark = append(s.mark, 0)
+	}
+	s.epoch = 0
 	for i := range s.nets {
 		s.contrib[i] = s.netScore(i)
 	}
-	return s
+}
+
+func grow32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // netScore freshly computes weight · HPWL of window net idx.
@@ -376,7 +419,8 @@ func (s *windowScorer) affected(gates []*netlist.Gate) []int32 {
 	s.epoch++
 	s.aff = s.aff[:0]
 	for _, g := range gates {
-		for _, idx := range s.gateNets[g.ID] {
+		slot := s.gateSlot[g.ID]
+		for _, idx := range s.gateIdx[s.gateOff[slot]:s.gateOff[slot+1]] {
 			if s.mark[idx] != s.epoch {
 				s.mark[idx] = s.epoch
 				s.aff = append(s.aff, idx)
@@ -456,7 +500,7 @@ func (s *windowScorer) posChanged(gates []*netlist.Gate) bool {
 // the weighted HPWL of the affected nets — for single-row swap decisions
 // HPWL ranks moves the same as the Steiner length at a fraction of the
 // cost — evaluated through the delta scorer above.
-func optimizeWindow(nl *netlist.Netlist, st *steiner.Cache, win []*netlist.Gate, opt DetailedOptions, score func() float64) int {
+func optimizeWindow(nl *netlist.Netlist, st *steiner.Cache, win []*netlist.Gate, opt DetailedOptions, score func() float64, sc *windowScorer) int {
 	if len(win) < 2 {
 		return 0
 	}
@@ -464,7 +508,10 @@ func optimizeWindow(nl *netlist.Netlist, st *steiner.Cache, win []*netlist.Gate,
 	if score != nil {
 		return optimizeWindowHook(nl, win, opt, score)
 	}
-	sc := newWindowScorer(win, opt)
+	if sc == nil {
+		sc = &windowScorer{}
+	}
+	sc.reset(win, opt)
 
 	accepted := 0
 	improved := true
@@ -564,11 +611,13 @@ func tryPermuteDelta(nl *netlist.Netlist, win []*netlist.Gate, i, k int, sc *win
 	aff := sc.affected(span)
 	orig := sc.sumBefore(aff)
 	lo := win[i].X - win[i].Width()/2
-	group := make([]*netlist.Gate, k)
-	copy(group, span)
-	best := append([]*netlist.Gate(nil), group...)
+	group := append(sc.group[:0], span...)
+	sc.group = group
+	best := append(sc.best[:0], group...)
+	sc.best = best
 	bestScore := orig
-	perm := make([]int, k)
+	perm := append(sc.perm[:0], make([]int, k)...)
+	sc.perm = perm
 	for p := range perm {
 		perm[p] = p
 	}

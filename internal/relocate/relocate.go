@@ -28,15 +28,102 @@ type Relocator struct {
 	// Moves counts cells relocated since construction.
 	Moves int
 
-	// binGates is a per-call index: bin flat id → movable gates inside.
-	// Rebuilt at each public entry point, maintained across own moves.
-	binGates map[int][]*netlist.Gate
+	// Incremental bin index: bin flat id → movable gates inside, plus the
+	// bin each gate is filed under. The relocator observes the netlist, so
+	// gate moves land in a pending queue that the public entry points
+	// drain; a full O(gates) rebuild happens only on the first call, after
+	// bulk movement (global placement), or when the bin grid refines.
+	// List order within a bin is arbitrary — moveOneCell sorts candidates
+	// by the strict (area, ID) order, so every choice stays deterministic.
+	binGates [][]*netlist.Gate
+	gateBin  []int32 // gate ID → flat bin index, -1 when unindexed
+	pending  []*netlist.Gate
+	valid    bool
 	indexNX  int
+	indexNY  int
 }
 
-// New returns a relocator with a safe default margin.
+// New returns a relocator with a safe default margin, subscribed to
+// netlist changes. Call Close to detach it.
 func New(nl *netlist.Netlist, eng *timing.Engine, im *image.Image) *Relocator {
-	return &Relocator{NL: nl, Eng: eng, Im: im, SlackMargin: 0}
+	r := &Relocator{NL: nl, Eng: eng, Im: im, SlackMargin: 0}
+	nl.Observe(r)
+	return r
+}
+
+// Close unsubscribes the relocator from the netlist.
+func (r *Relocator) Close() { r.NL.Unobserve(r) }
+
+// ---- netlist.Observer: keep the bin index in sync ----
+
+func (r *Relocator) GateMoved(g *netlist.Gate)   { r.note(g) }
+func (r *Relocator) GateAdded(g *netlist.Gate)   { r.note(g) }
+func (r *Relocator) GateRemoved(g *netlist.Gate) { r.note(g) }
+func (r *Relocator) GateResized(*netlist.Gate)   {}
+func (r *Relocator) NetChanged(*netlist.Net)     {}
+
+// NetlistCompacted implements netlist.CompactObserver: gate IDs were
+// reassigned, so the index is rebuilt from scratch on the next entry.
+func (r *Relocator) NetlistCompacted() {
+	r.valid = false
+	r.pending = r.pending[:0]
+}
+
+func (r *Relocator) note(g *netlist.Gate) {
+	if !r.valid {
+		return
+	}
+	if len(r.pending) >= r.NL.NumGates()/2+64 {
+		// Bulk movement: replaying every event costs more than one rebuild
+		// at the next entry point.
+		r.valid = false
+		r.pending = r.pending[:0]
+		return
+	}
+	r.pending = append(r.pending, g)
+}
+
+// ensureIndex brings the bin index up to date with the netlist.
+func (r *Relocator) ensureIndex() {
+	if !r.valid || r.indexNX != r.Im.NX || r.indexNY != r.Im.NY {
+		r.rebuildIndex()
+		return
+	}
+	for _, g := range r.pending {
+		r.refile(g)
+	}
+	r.pending = r.pending[:0]
+}
+
+// refile moves gate g to the bin list matching its current state. Replayed
+// events are idempotent: a gate already filed where it belongs is a no-op.
+func (r *Relocator) refile(g *netlist.Gate) {
+	for g.ID >= len(r.gateBin) {
+		r.gateBin = append(r.gateBin, -1)
+	}
+	old := r.gateBin[g.ID]
+	want := int32(-1)
+	if !g.Removed && !g.Fixed && !g.IsPad() {
+		ix, iy := r.Im.Loc(g.X, g.Y)
+		want = int32(iy*r.Im.NX + ix)
+	}
+	if old == want {
+		return
+	}
+	if old >= 0 {
+		bg := r.binGates[old]
+		for i, og := range bg {
+			if og == g {
+				bg[i] = bg[len(bg)-1]
+				r.binGates[old] = bg[:len(bg)-1]
+				break
+			}
+		}
+	}
+	if want >= 0 {
+		r.binGates[want] = append(r.binGates[want], g)
+	}
+	r.gateBin[g.ID] = want
 }
 
 // FreeSpace tries to create at least `need` µm² of free capacity in the
@@ -44,7 +131,7 @@ func New(nl *netlist.Netlist, eng *timing.Engine, im *image.Image) *Relocator {
 // (distance-weighted) augmenting paths to bins with spare capacity.
 // Returns true if the space is available afterwards.
 func (r *Relocator) FreeSpace(x, y, need float64) bool {
-	r.rebuildIndex()
+	r.ensureIndex()
 	bi, bj := r.Im.Loc(x, y)
 	for iter := 0; iter < 32; iter++ {
 		b := r.Im.At(bi, bj)
@@ -61,7 +148,7 @@ func (r *Relocator) FreeSpace(x, y, need float64) bool {
 // RelieveAll fixes every overfull bin (used as the stand-alone transform).
 // Returns the number of cells moved.
 func (r *Relocator) RelieveAll(slack float64) int {
-	r.rebuildIndex()
+	r.ensureIndex()
 	before := r.Moves
 	for _, flat := range r.Im.Overfull(slack) {
 		ix, iy := flat%r.Im.NX, flat/r.Im.NX
@@ -168,11 +255,26 @@ func (r *Relocator) augment(si, sj int) bool {
 	return moved
 }
 
-// rebuildIndex refreshes the bin → gates map (other transforms may have
-// moved cells since the last call).
+// rebuildIndex refreshes the whole bin → gates index from the netlist,
+// keeping per-bin list capacity when the grid shape is unchanged.
 func (r *Relocator) rebuildIndex() {
-	r.binGates = make(map[int][]*netlist.Gate)
-	r.indexNX = r.Im.NX
+	nb := r.Im.NumBins()
+	if len(r.binGates) != nb {
+		r.binGates = make([][]*netlist.Gate, nb)
+	} else {
+		for i := range r.binGates {
+			r.binGates[i] = r.binGates[i][:0]
+		}
+	}
+	ng := r.NL.GateCap()
+	if cap(r.gateBin) < ng {
+		r.gateBin = make([]int32, ng)
+	}
+	r.gateBin = r.gateBin[:ng]
+	for i := range r.gateBin {
+		r.gateBin[i] = -1
+	}
+	r.indexNX, r.indexNY = r.Im.NX, r.Im.NY
 	r.NL.Gates(func(g *netlist.Gate) {
 		if g.Fixed || g.IsPad() {
 			return
@@ -180,7 +282,10 @@ func (r *Relocator) rebuildIndex() {
 		ix, iy := r.Im.Loc(g.X, g.Y)
 		flat := iy*r.Im.NX + ix
 		r.binGates[flat] = append(r.binGates[flat], g)
+		r.gateBin[g.ID] = int32(flat)
 	})
+	r.pending = r.pending[:0]
+	r.valid = true
 }
 
 // moveOneCell relocates the best (smallest non-critical) movable cell from
@@ -208,10 +313,12 @@ func (r *Relocator) moveOneCell(fi, fj, ti, tj int) bool {
 		r.Im.Withdraw(g.X, g.Y, g.Area(t))
 		r.NL.MoveGate(g, cx, cy)
 		r.Im.Deposit(cx, cy, g.Area(t))
-		// Maintain the index across our own move.
+		// Maintain the index across our own move (the observer echo of
+		// this MoveGate replays as a no-op refile).
 		r.binGates[from] = append(cands[:k], cands[k+1:]...)
 		to := tj*r.Im.NX + ti
 		r.binGates[to] = append(r.binGates[to], g)
+		r.gateBin[g.ID] = int32(to)
 		r.Moves++
 		return true
 	}

@@ -181,10 +181,22 @@ func (c *Context) SetWorkers(n int) {
 
 // Close detaches the analyzers from the netlist.
 func (c *Context) Close() {
+	c.closeScratch()
 	c.Eng.Close()
 	c.Calc.Close()
 	c.Cong.Close()
 	c.St.Close()
+}
+
+// closeScratch releases per-run actors that hold external registrations
+// (netlist observer subscriptions, …) before the Scratch map is dropped,
+// so actors from a finished run stop hearing edits.
+func (c *Context) closeScratch() {
+	for _, v := range c.Scratch {
+		if cl, ok := v.(interface{ Close() }); ok {
+			cl.Close()
+		}
+	}
 }
 
 // AnalyzerStats exposes the incremental engines' dirty-set counters: how

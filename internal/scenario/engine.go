@@ -44,6 +44,7 @@ func RunContext(ctx context.Context, c *Context, s *Script) (Metrics, error) {
 		params[k] = v
 	}
 	c.Params = params
+	c.closeScratch()
 	c.Scratch = map[string]any{}
 	c.Status, c.PrevStatus = 0, 0
 	c.ScenarioName = s.Name

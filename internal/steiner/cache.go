@@ -27,8 +27,22 @@ import (
 // net's pin locations, so the batch result is identical to lazy serial
 // construction.
 type Cache struct {
-	nl    *netlist.Netlist
-	trees []*Tree // indexed by net ID; nil = invalid
+	nl *netlist.Netlist
+	// trees is indexed by net ID. A slot is only meaningful when the
+	// matching tvalid flag is set; invalidation clears the flag but keeps
+	// the Tree object, so the rebuild reuses its node/edge storage.
+	trees  []*Tree
+	tvalid []bool
+
+	// builders hold per-chunk construction scratch for buildBatch (chunk k
+	// uses builders[k]; par chunking is deterministic) plus one extra slot
+	// for the serial lazy path in Tree().
+	builders []builder
+	// ptScratch is the per-chunk pin-point gather buffer, parallel to
+	// builders.
+	ptScratch [][]Point
+	// staleScratch backs the stale-net collection in the Prepare paths.
+	staleScratch []*netlist.Net
 
 	// Summation-tree state. leafCap is a power of two ≥ NetCap; lenSum and
 	// wSum hold 2·leafCap nodes each in implicit heap layout (root at 1,
@@ -70,6 +84,9 @@ func (c *Cache) grow(id int) {
 	for len(c.trees) <= id {
 		c.trees = append(c.trees, nil)
 	}
+	for len(c.tvalid) <= id {
+		c.tvalid = append(c.tvalid, false)
+	}
 	for len(c.isDirty) <= id {
 		c.isDirty = append(c.isDirty, false)
 	}
@@ -105,12 +122,13 @@ func (c *Cache) DirtyNets() int {
 // query the cache from parallel workers.
 func (c *Cache) PrepareAll(workers int) int {
 	c.grow(c.nl.NetCap() - 1)
-	var stale []*netlist.Net
+	stale := c.staleScratch[:0]
 	c.nl.Nets(func(n *netlist.Net) {
-		if c.trees[n.ID] == nil {
+		if !c.tvalid[n.ID] {
 			stale = append(stale, n)
 		}
 	})
+	c.staleScratch = stale
 	c.buildBatch(workers, stale)
 	return len(stale)
 }
@@ -124,28 +142,54 @@ func (c *Cache) PrepareNets(workers int, nets []*netlist.Net) int {
 		return 0
 	}
 	c.grow(c.nl.NetCap() - 1)
-	var stale []*netlist.Net
+	stale := c.staleScratch[:0]
 	for _, n := range nets {
-		if c.trees[n.ID] == nil {
+		if !c.tvalid[n.ID] {
 			stale = append(stale, n)
 		}
 	}
+	c.staleScratch = stale
 	c.buildBatch(workers, stale)
 	return len(stale)
 }
 
 // buildBatch constructs the trees of the given stale nets in parallel.
-// Each worker writes only its own nets' slots.
+// Each worker writes only its own nets' slots, rebuilding in place into
+// the nets' existing Tree objects with chunk-private builder scratch. Pin
+// points are gathered from the netlist's CSR membership and position slabs
+// — two flat array reads per pin instead of a pointer chase — which is why
+// the CSR is refreshed (serially) before the fan-out.
 func (c *Cache) buildBatch(workers int, stale []*netlist.Net) {
-	par.For(workers, len(stale), func(_, lo, hi int) {
+	if len(stale) == 0 {
+		return
+	}
+	off, pinIDs := c.nl.PinCSR()
+	posX, posY := c.nl.Positions()
+	pinGate := c.nl.PinGates()
+	nc := par.NumChunks(workers, len(stale))
+	for len(c.builders) < nc {
+		c.builders = append(c.builders, builder{})
+		c.ptScratch = append(c.ptScratch, nil)
+	}
+	par.For(workers, len(stale), func(chunk, lo, hi int) {
+		b := &c.builders[chunk]
+		pts := c.ptScratch[chunk]
 		for _, n := range stale[lo:hi] {
-			pins := n.Pins()
-			pts := make([]Point, len(pins))
-			for i, p := range pins {
-				pts[i] = Point{p.X(), p.Y()}
+			id := n.ID
+			pts = pts[:0]
+			for _, pid := range pinIDs[off[id]:off[id+1]] {
+				g := pinGate[pid]
+				pts = append(pts, Point{posX[g], posY[g]})
 			}
-			c.trees[n.ID] = Build(pts)
+			t := c.trees[id]
+			if t == nil {
+				t = &Tree{}
+				c.trees[id] = t
+			}
+			b.buildInto(t, pts)
+			c.tvalid[id] = true
 		}
+		c.ptScratch[chunk] = pts
 	})
 	c.Rebuilds += len(stale)
 }
@@ -154,16 +198,26 @@ func (c *Cache) buildBatch(workers int, stale []*netlist.Net) {
 // to n.Pins()[i]. The tree is valid until the next change touching n.
 func (c *Cache) Tree(n *netlist.Net) *Tree {
 	c.grow(n.ID)
-	if t := c.trees[n.ID]; t != nil {
-		return t
+	if c.tvalid[n.ID] {
+		return c.trees[n.ID]
 	}
-	pins := n.Pins()
-	pts := make([]Point, len(pins))
-	for i, p := range pins {
-		pts[i] = Point{p.X(), p.Y()}
+	if len(c.builders) == 0 {
+		c.builders = append(c.builders, builder{})
+		c.ptScratch = append(c.ptScratch, nil)
 	}
-	t := Build(pts)
-	c.trees[n.ID] = t
+	b := &c.builders[0]
+	pts := c.ptScratch[0][:0]
+	for _, p := range n.Pins() {
+		pts = append(pts, Point{p.X(), p.Y()})
+	}
+	c.ptScratch[0] = pts
+	t := c.trees[n.ID]
+	if t == nil {
+		t = &Tree{}
+		c.trees[n.ID] = t
+	}
+	b.buildInto(t, pts)
+	c.tvalid[n.ID] = true
 	c.Rebuilds++
 	return t
 }
@@ -210,12 +264,13 @@ func (c *Cache) flushTotals() {
 		return
 	}
 	// Build the missing trees of dirty live nets in one parallel batch.
-	var stale []*netlist.Net
+	stale := c.staleScratch[:0]
 	for _, id := range c.dirty {
-		if n := c.nl.NetByID(id); n != nil && c.trees[id] == nil {
+		if n := c.nl.NetByID(id); n != nil && !c.tvalid[id] {
 			stale = append(stale, n)
 		}
 	}
+	c.staleScratch = stale
 	c.buildBatch(c.Workers, stale)
 
 	// Refresh dirty leaves. Dead (removed or never-connected) nets hold 0.
@@ -305,8 +360,8 @@ func nextPow2(n int) int {
 // them (batched in parallel when Workers > 1) along with the summation
 // trees.
 func (c *Cache) InvalidateAll() {
-	for i := range c.trees {
-		c.trees[i] = nil
+	for i := range c.tvalid {
+		c.tvalid[i] = false
 	}
 	for _, id := range c.dirty {
 		c.isDirty[id] = false
@@ -319,7 +374,7 @@ func (c *Cache) InvalidateAll() {
 // contribution for refresh.
 func (c *Cache) Invalidate(n *netlist.Net) {
 	c.grow(n.ID)
-	c.trees[n.ID] = nil
+	c.tvalid[n.ID] = false
 	c.markDirty(n.ID)
 }
 
@@ -344,3 +399,16 @@ func (c *Cache) GateAdded(*netlist.Gate) {}
 
 // GateRemoved implements netlist.Observer.
 func (c *Cache) GateRemoved(*netlist.Gate) {}
+
+// NetlistCompacted implements netlist.CompactObserver: every net ID was
+// reassigned, so all ID-indexed state — trees, dirty flags, summation
+// leaves — is dropped and the next aggregate query rebuilds from scratch
+// at the compacted capacity.
+func (c *Cache) NetlistCompacted() {
+	c.trees = c.trees[:0]
+	c.tvalid = c.tvalid[:0]
+	c.isDirty = c.isDirty[:0]
+	c.dirty = c.dirty[:0]
+	c.allDirty = true
+	c.primed = false
+}

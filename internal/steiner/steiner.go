@@ -7,6 +7,14 @@
 // Small nets use the iterated 1-Steiner heuristic of Kahng–Robins over the
 // Hanan grid; larger nets fall back to a rectilinear minimum spanning tree,
 // which is itself a valid (if slightly pessimistic) Steiner topology.
+//
+// Construction runs through a builder holding reusable scratch (dedup
+// tables, Prim state, Hanan candidate buffers) and writes into an existing
+// Tree's slices, so steady-state rebuilds — millions per flow at scale —
+// allocate nothing once the per-net trees have reached their high-water
+// capacity. The heuristics themselves are untouched: a builder produces
+// node-for-node, edge-for-edge the tree the old allocate-per-call code
+// built, which keeps every downstream float sum bit-identical.
 package steiner
 
 import "math"
@@ -48,14 +56,37 @@ func HPWL(pts []Point) float64 {
 	return (maxX - minX) + (maxY - minY)
 }
 
-// onePinTree and twoPinTree are the trivial cases.
-func onePinTree(pts []Point) *Tree {
-	return &Tree{Nodes: append([]Point(nil), pts...), NumPins: len(pts)}
-}
-
 // maxOneSteinerPins bounds the iterated 1-Steiner heuristic; above it the
 // O(n²)-per-candidate cost stops paying for itself and RMST is used.
 const maxOneSteinerPins = 7
+
+// dedupLinearMax bounds the linear-scan duplicate search; nets with more
+// pins (clock roots, mostly) fall back to a map.
+const dedupLinearMax = 32
+
+// builder holds the scratch state for allocation-free tree construction.
+// A builder is single-goroutine; the cache keeps one per worker chunk.
+type builder struct {
+	rep         []int32 // pin → representative pin index
+	distinct    []Point
+	distinctPin []int32 // distinct index → representative pin index
+	work        []Point // 1-Steiner working point set
+	cand        []Point // work + one trial candidate
+	xs, ys      []float64
+	inTree      []bool
+	bestD       []float64
+	bestTo      []int
+	deg         []int
+	core        Tree // dedup path: tree over the distinct points
+}
+
+// reset prepares t for reuse, keeping its slice capacity.
+func resetTree(t *Tree, numPins int) {
+	t.Nodes = t.Nodes[:0]
+	t.Edges = t.Edges[:0]
+	t.NumPins = numPins
+	t.Length = 0
+}
 
 // Build constructs a Steiner tree over the points. The input slice is not
 // retained. Coincident points — the normal case while placement is still
@@ -63,92 +94,125 @@ const maxOneSteinerPins = 7
 // collapsed before the heuristic runs and re-attached with zero-length
 // edges, so the expensive construction only ever sees distinct locations.
 func Build(pts []Point) *Tree {
+	var b builder
+	t := &Tree{}
+	b.buildInto(t, pts)
+	return t
+}
+
+// buildInto rebuilds t in place over pts, reusing t's slices.
+func (b *builder) buildInto(t *Tree, pts []Point) {
+	resetTree(t, len(pts))
 	switch len(pts) {
 	case 0, 1:
-		return onePinTree(pts)
+		t.Nodes = append(t.Nodes, pts...)
+		return
 	case 2:
-		t := &Tree{
-			Nodes:   []Point{pts[0], pts[1]},
-			Edges:   []Edge{{0, 1}},
-			NumPins: 2,
-		}
+		t.Nodes = append(t.Nodes, pts[0], pts[1])
+		t.Edges = append(t.Edges, Edge{0, 1})
 		t.Length = Dist(pts[0], pts[1])
-		return t
+		return
 	}
 
-	// Deduplicate coincident pins.
-	first := make(map[Point]int32, len(pts))
-	rep := make([]int32, len(pts)) // pin → representative pin index
-	var distinct []Point
-	var distinctPin []int32 // distinct index → representative pin index
+	// Deduplicate coincident pins. The representative of a point is its
+	// first occurrence in pts, matching the map-based original exactly.
+	if cap(b.rep) < len(pts) {
+		b.rep = make([]int32, len(pts))
+	}
+	b.rep = b.rep[:len(pts)]
+	b.distinct = b.distinct[:0]
+	b.distinctPin = b.distinctPin[:0]
 	dups := 0
-	for i, p := range pts {
-		if j, ok := first[p]; ok {
-			rep[i] = j
-			dups++
-			continue
+	if len(pts) <= dedupLinearMax {
+		for i, p := range pts {
+			found := false
+			for j, q := range b.distinct {
+				if q == p {
+					b.rep[i] = b.distinctPin[j]
+					dups++
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			b.rep[i] = int32(i)
+			b.distinct = append(b.distinct, p)
+			b.distinctPin = append(b.distinctPin, int32(i))
 		}
-		first[p] = int32(i)
-		rep[i] = int32(i)
-		distinct = append(distinct, p)
-		distinctPin = append(distinctPin, int32(i))
+	} else {
+		first := make(map[Point]int32, len(pts))
+		for i, p := range pts {
+			if j, ok := first[p]; ok {
+				b.rep[i] = j
+				dups++
+				continue
+			}
+			first[p] = int32(i)
+			b.rep[i] = int32(i)
+			b.distinct = append(b.distinct, p)
+			b.distinctPin = append(b.distinctPin, int32(i))
+		}
 	}
 	if dups == 0 {
-		return buildCore(pts)
+		b.buildCoreInto(t, pts)
+		return
 	}
-	if len(distinct) == 1 {
-		t := onePinTree(pts)
+	if len(b.distinct) == 1 {
+		t.Nodes = append(t.Nodes, pts...)
 		for i := 1; i < len(pts); i++ {
 			t.Edges = append(t.Edges, Edge{0, i})
 		}
-		return t
+		return
 	}
 
-	core := buildCore(distinct)
+	core := &b.core
+	b.buildCoreInto(core, b.distinct)
 	// Splice: nodes = all original pins, then core's Steiner nodes.
-	t := &Tree{
-		Nodes:   append(append([]Point(nil), pts...), core.Nodes[len(distinct):]...),
-		NumPins: len(pts),
-		Length:  core.Length,
-	}
+	t.Nodes = append(t.Nodes, pts...)
+	t.Nodes = append(t.Nodes, core.Nodes[len(b.distinct):]...)
+	t.Length = core.Length
+	nd := len(b.distinct)
 	mapNode := func(u int) int {
-		if u < len(distinct) {
-			return int(distinctPin[u])
+		if u < nd {
+			return int(b.distinctPin[u])
 		}
-		return len(pts) + (u - len(distinct))
+		return len(pts) + (u - nd)
 	}
 	for _, e := range core.Edges {
 		t.Edges = append(t.Edges, Edge{mapNode(e.U), mapNode(e.V)})
 	}
 	for i := range pts {
-		if int(rep[i]) != i {
-			t.Edges = append(t.Edges, Edge{int(rep[i]), i}) // zero length
+		if int(b.rep[i]) != i {
+			t.Edges = append(t.Edges, Edge{int(b.rep[i]), i}) // zero length
 		}
 	}
-	return t
 }
 
-// buildCore runs the RSMT heuristic on points assumed distinct.
-func buildCore(pts []Point) *Tree {
+// buildCoreInto runs the RSMT heuristic on points assumed distinct.
+func (b *builder) buildCoreInto(t *Tree, pts []Point) {
+	resetTree(t, len(pts))
 	if len(pts) == 3 {
-		return buildMedianTree(pts)
+		b.medianInto(t, pts)
+		return
 	}
 	if len(pts) <= maxOneSteinerPins {
-		return buildOneSteiner(pts)
+		b.oneSteinerInto(t, pts)
+		return
 	}
-	return buildRMST(pts)
+	b.rmstInto(t, pts)
 }
 
-// buildMedianTree is the exact 3-pin RSMT: every pin connects to the
+// medianInto is the exact 3-pin RSMT: every pin connects to the
 // coordinate-wise median point.
-func buildMedianTree(pts []Point) *Tree {
+func (b *builder) medianInto(t *Tree, pts []Point) {
 	mx := median3(pts[0].X, pts[1].X, pts[2].X)
 	my := median3(pts[0].Y, pts[1].Y, pts[2].Y)
 	m := Point{mx, my}
-	t := &Tree{NumPins: 3}
 	if m == pts[0] || m == pts[1] || m == pts[2] {
 		// Median coincides with a pin: no Steiner point needed.
-		t.Nodes = append([]Point(nil), pts...)
+		t.Nodes = append(t.Nodes, pts...)
 		hub := 0
 		for i, p := range pts {
 			if p == m {
@@ -162,14 +226,14 @@ func buildMedianTree(pts []Point) *Tree {
 				t.Length += Dist(pts[i], m)
 			}
 		}
-		return t
+		return
 	}
-	t.Nodes = append(append([]Point(nil), pts...), m)
+	t.Nodes = append(t.Nodes, pts...)
+	t.Nodes = append(t.Nodes, m)
 	for i := range pts {
 		t.Edges = append(t.Edges, Edge{i, 3})
 		t.Length += Dist(pts[i], m)
 	}
-	return t
 }
 
 func median3(a, b, c float64) float64 {
@@ -185,16 +249,24 @@ func median3(a, b, c float64) float64 {
 	return b
 }
 
-// buildRMST builds a rectilinear minimum spanning tree with Prim's
-// algorithm (O(n²), fine for the fanout sizes that reach it).
-func buildRMST(pts []Point) *Tree {
+// rmstInto appends a rectilinear minimum spanning tree over pts to the
+// (reset) tree t with Prim's algorithm (O(n²), fine for the fanout sizes
+// that reach it).
+func (b *builder) rmstInto(t *Tree, pts []Point) {
 	n := len(pts)
-	t := &Tree{Nodes: append([]Point(nil), pts...), NumPins: n}
-	inTree := make([]bool, n)
-	bestD := make([]float64, n)
-	bestTo := make([]int, n)
-	for i := range bestD {
+	t.Nodes = append(t.Nodes, pts...)
+	if cap(b.inTree) < n {
+		b.inTree = make([]bool, n)
+		b.bestD = make([]float64, n)
+		b.bestTo = make([]int, n)
+	}
+	inTree := b.inTree[:n]
+	bestD := b.bestD[:n]
+	bestTo := b.bestTo[:n]
+	for i := range inTree {
+		inTree[i] = false
 		bestD[i] = math.Inf(1)
+		bestTo[i] = 0
 	}
 	inTree[0] = true
 	for i := 1; i < n; i++ {
@@ -220,7 +292,6 @@ func buildRMST(pts []Point) *Tree {
 			}
 		}
 	}
-	return t
 }
 
 // mstLength returns the RMST length of pts without building the topology.
@@ -284,21 +355,21 @@ func mstLength(pts []Point) float64 {
 	return total
 }
 
-// buildOneSteiner implements iterated 1-Steiner: repeatedly insert the
+// oneSteinerInto implements iterated 1-Steiner: repeatedly insert the
 // Hanan-grid candidate that maximally reduces the RMST length, until no
 // candidate helps.
-func buildOneSteiner(pts []Point) *Tree {
-	work := append([]Point(nil), pts...)
+func (b *builder) oneSteinerInto(t *Tree, pts []Point) {
 	numPins := len(pts)
-	cur := mstLength(work)
+	b.work = append(b.work[:0], pts...)
+	cur := mstLength(b.work)
 
 	// Hanan coordinates come from the *pins* only; candidates from added
 	// Steiner points rarely help and triple the candidate set.
-	xs := make([]float64, 0, numPins)
-	ys := make([]float64, 0, numPins)
+	b.xs = b.xs[:0]
+	b.ys = b.ys[:0]
 	for _, p := range pts {
-		xs = append(xs, p.X)
-		ys = append(ys, p.Y)
+		b.xs = append(b.xs, p.X)
+		b.ys = append(b.ys, p.Y)
 	}
 
 	const eps = 1e-9
@@ -313,13 +384,14 @@ func buildOneSteiner(pts []Point) *Tree {
 		bestGain := eps
 		var bestPt Point
 		found := false
-		for _, x := range xs {
-			for _, y := range ys {
+		for _, x := range b.xs {
+			for _, y := range b.ys {
 				c := Point{x, y}
-				if containsPoint(work, c) {
+				if containsPoint(b.work, c) {
 					continue
 				}
-				l := mstLength(append(work, c))
+				b.cand = append(append(b.cand[:0], b.work...), c)
+				l := mstLength(b.cand)
 				if gain := cur - l; gain > bestGain {
 					bestGain, bestPt, found = gain, c, true
 				}
@@ -328,14 +400,13 @@ func buildOneSteiner(pts []Point) *Tree {
 		if !found {
 			break
 		}
-		work = append(work, bestPt)
+		b.work = append(b.work, bestPt)
 		cur -= bestGain
 	}
 
-	t := buildRMST(work)
+	b.rmstInto(t, b.work)
 	t.NumPins = numPins
-	t = pruneSteinerLeaves(t)
-	return t
+	b.pruneSteinerLeaves(t)
 }
 
 func containsPoint(pts []Point, c Point) bool {
@@ -351,9 +422,15 @@ func containsPoint(pts []Point, c Point) bool {
 // the node set; length is unchanged because such leaves contribute zero or
 // positive length that the RMST would not include — degree-1 Steiner leaves
 // can appear when a candidate stopped helping after later insertions).
-func pruneSteinerLeaves(t *Tree) *Tree {
+func (b *builder) pruneSteinerLeaves(t *Tree) {
 	for {
-		deg := make([]int, len(t.Nodes))
+		if cap(b.deg) < len(t.Nodes) {
+			b.deg = make([]int, len(t.Nodes))
+		}
+		deg := b.deg[:len(t.Nodes)]
+		for i := range deg {
+			deg[i] = 0
+		}
 		for _, e := range t.Edges {
 			deg[e.U]++
 			deg[e.V]++
@@ -366,7 +443,7 @@ func pruneSteinerLeaves(t *Tree) *Tree {
 			}
 		}
 		if victim < 0 {
-			return t
+			return
 		}
 		// Drop the victim node and its (at most one) incident edge,
 		// renumbering the last node into its slot.

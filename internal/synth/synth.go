@@ -42,6 +42,12 @@ type Optimizer struct {
 	Stop func() error
 
 	serial int // uniquifies generated instance names
+
+	// Scratch slices reused across candidates: sink enumeration and the
+	// sorted copy farGroup makes. Valid only within one transform call —
+	// each candidate overwrites them.
+	sinkScratch []*netlist.Pin
+	farScratch  []*netlist.Pin
 }
 
 // New returns an optimizer with paper-scale defaults.
@@ -126,13 +132,14 @@ func (o *Optimizer) cloneNet(n *netlist.Net) bool {
 		return false
 	}
 	g := d.Gate
-	sinks := n.Sinks(nil)
+	o.sinkScratch = n.Sinks(o.sinkScratch[:0])
+	sinks := o.sinkScratch
 	if len(sinks) < o.MinCloneFanout {
 		return false
 	}
 	// Split sinks by the axis with larger spread; the clone takes the far
 	// group.
-	far := farGroup(sinks, g.X, g.Y)
+	far := o.farGroup(sinks, g.X, g.Y)
 	if len(far) == 0 || len(far) == len(sinks) {
 		return false
 	}
@@ -154,7 +161,7 @@ func (o *Optimizer) cloneNet(n *netlist.Net) bool {
 		}
 	}
 	cn := o.NL.AddNet(n.Name + "_cl" + itoa(o.serial))
-	cn.Kind = n.Kind
+	o.NL.SetNetKind(cn, n.Kind)
 	o.NL.Connect(clone.Output(), cn)
 	for _, s := range far {
 		o.NL.MovePin(s, cn)
@@ -175,8 +182,9 @@ func (o *Optimizer) cloneNet(n *netlist.Net) bool {
 }
 
 // farGroup returns the half of the sinks farther from (x, y) along the
-// axis of larger spread.
-func farGroup(sinks []*netlist.Pin, x, y float64) []*netlist.Pin {
+// axis of larger spread. The result aliases o.farScratch and is clobbered
+// by the next call.
+func (o *Optimizer) farGroup(sinks []*netlist.Pin, x, y float64) []*netlist.Pin {
 	if len(sinks) < 2 {
 		return nil
 	}
@@ -189,7 +197,8 @@ func farGroup(sinks []*netlist.Pin, x, y float64) []*netlist.Pin {
 		maxY = math.Max(maxY, s.Y())
 	}
 	horiz := maxX-minX >= maxY-minY
-	sorted := append([]*netlist.Pin(nil), sinks...)
+	o.farScratch = append(o.farScratch[:0], sinks...)
+	sorted := o.farScratch
 	sort.Slice(sorted, func(i, j int) bool {
 		var di, dj float64
 		if horiz {
@@ -243,11 +252,12 @@ func (o *Optimizer) bufferNet(n *netlist.Net, bc *cell.Cell) bool {
 	if d == nil || n.Kind != netlist.Signal {
 		return false
 	}
-	sinks := n.Sinks(nil)
+	o.sinkScratch = n.Sinks(o.sinkScratch[:0])
+	sinks := o.sinkScratch
 	if len(sinks) < 2 {
 		return false
 	}
-	far := farGroup(sinks, d.X(), d.Y())
+	far := o.farGroup(sinks, d.X(), d.Y())
 	if len(far) == 0 || len(far) == len(sinks) {
 		return false
 	}
@@ -412,7 +422,8 @@ func (o *Optimizer) collapseBuffer(g *netlist.Gate) bool {
 	}
 	wsBefore := o.Eng.WorstSlack()
 	tnsBefore := o.Eng.TNS()
-	sinks := out.Sinks(nil)
+	o.sinkScratch = out.Sinks(o.sinkScratch[:0])
+	sinks := o.sinkScratch
 	for _, s := range sinks {
 		o.NL.MovePin(s, in)
 	}
@@ -451,7 +462,8 @@ func (o *Optimizer) collapseInvPair(g *netlist.Gate) bool {
 	}
 	wsBefore := o.Eng.WorstSlack()
 	tnsBefore := o.Eng.TNS()
-	sinks := out.Sinks(nil)
+	o.sinkScratch = out.Sinks(o.sinkScratch[:0])
+	sinks := o.sinkScratch
 	for _, s := range sinks {
 		o.NL.MovePin(s, in)
 	}
@@ -567,11 +579,12 @@ func (o *Optimizer) ElectricalCorrection(calc interface{ Load(*netlist.Net) floa
 // sized to legally carry the peeled load, no larger.
 func (o *Optimizer) bufferNetUnconditional(n *netlist.Net) bool {
 	d := n.Driver()
-	sinks := n.Sinks(nil)
+	o.sinkScratch = n.Sinks(o.sinkScratch[:0])
+	sinks := o.sinkScratch
 	if d == nil || len(sinks) < 2 {
 		return false
 	}
-	far := farGroup(sinks, d.X(), d.Y())
+	far := o.farGroup(sinks, d.X(), d.Y())
 	if len(far) == 0 || len(far) == len(sinks) {
 		return false
 	}

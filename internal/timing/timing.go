@@ -15,8 +15,8 @@
 package timing
 
 import (
-	"container/heap"
 	"math"
+	"sort"
 
 	"tps/internal/cell"
 	"tps/internal/delay"
@@ -47,17 +47,42 @@ type Engine struct {
 	level    []int32
 	// kind flags per pin, rebuilt at levelization.
 	flags []pinFlag
+	// late caches Port().Late*Tau per pin so the evaluation hot loops skip
+	// the Gate→Cell→Port pointer chase; refreshed wherever flags are.
+	late []float64
+	// outPin caches the gate's output pin per pin, stored as ID+1 (0 = no
+	// output) so the zero value of a grown slab means "none". Same
+	// lifecycle as flags; saves the Gate.Output port scan in hot loops.
+	outPin []int32
 
 	endpoints []*netlist.Pin
 	begins    []*netlist.Pin
 	pinOf     []*netlist.Pin // pin ID → pin
 
-	levelEpoch uint64 // nl.Edits when levels were last built
-	allDirty   bool
+	// levelsValid reports that level/flags/pinOf/begins/endpoints are
+	// consistent with the current topology. Connectivity edits repair them
+	// incrementally (relaxNet, GateAdded, GateRemoved); the flag drops only
+	// when an edit is too awkward to patch — cycles, replaced cells that
+	// change pin roles, relaxation budget blown — and the next query then
+	// pays one full relevel.
+	levelsValid bool
+	kindEpoch   uint64 // nl.KindEpoch when levels were last built
+	allDirty    bool
 
 	pendArr, pendReq []int // pin IDs with pending recompute
 	inPendArr        []bool
 	inPendReq        []bool
+
+	// Reusable scratch (relevel, full-flush ordering, incremental heaps):
+	// sized to high-water marks so steady-state flushes allocate nothing.
+	indegScratch []int32
+	queueScratch []int
+	idScratch    []int   // live pin ID collection buffer
+	idSorted     []int   // level-sorted pin IDs (counting-sort output)
+	levelCount   []int32 // counting-sort cursor workspace (per level)
+	levelStart   []int32 // level → start offset in idSorted
+	buckets      [][]int // per-level worklists for the incremental flushes
+	relaxQueue   []int   // BFS workspace for incremental level repair
 
 	// Recomputes counts pin evaluations since construction; tests use it
 	// to demonstrate incrementality.
@@ -74,6 +99,7 @@ const (
 	flagEnd
 	flagClockPin // excluded from data graph
 	flagOnCycle
+	flagOutput // pin direction, cached to skip the Port() chase in hot loops
 )
 
 // New creates an engine over nl with the given delay calculator and clock
@@ -146,7 +172,9 @@ func (e *Engine) relevel() {
 	np := e.nl.NumPins()
 	e.arr = grow(e.arr, np)
 	e.req = grow(e.req, np)
+	e.late = grow(e.late, np)
 	e.level = growI32(e.level, np)
+	e.outPin = growI32(e.outPin, np)
 	e.flags = growFlags(e.flags, np)
 	e.inPendArr = growBool(e.inPendArr, np)
 	e.inPendReq = growBool(e.inPendReq, np)
@@ -155,17 +183,34 @@ func (e *Engine) relevel() {
 	for i := range e.flags {
 		e.flags[i] = 0
 		e.level[i] = 0
+		e.outPin[i] = 0
 		e.pinOf[i] = nil
 	}
 	e.endpoints = e.endpoints[:0]
 	e.begins = e.begins[:0]
 
-	indeg := make([]int32, np)
-	var queue []int
+	if cap(e.indegScratch) < np {
+		e.indegScratch = make([]int32, np)
+	}
+	indeg := e.indegScratch[:np]
+	for i := range indeg {
+		indeg[i] = 0
+	}
+	queue := e.queueScratch[:0]
 
+	tau := e.nl.Lib.Tech.Tau
 	e.nl.Gates(func(g *netlist.Gate) {
+		zid := int32(0)
+		if z := g.Output(); z != nil {
+			zid = int32(z.ID) + 1
+		}
 		for _, p := range g.Pins {
 			e.pinOf[p.ID] = p
+			e.outPin[p.ID] = zid
+			if p.Dir() == cell.Output {
+				e.flags[p.ID] |= flagOutput
+			}
+			e.late[p.ID] = p.Port().Late * tau
 			if p.Port().Clock {
 				e.flags[p.ID] |= flagClockPin
 				continue
@@ -203,6 +248,7 @@ func (e *Engine) relevel() {
 		})
 	}
 
+	e.queueScratch = queue[:0]
 	e.HasCycles = false
 	for id := range indeg {
 		if indeg[id] > 0 {
@@ -211,7 +257,8 @@ func (e *Engine) relevel() {
 		}
 	}
 
-	e.levelEpoch = e.nl.Edits
+	e.levelsValid = true
+	e.kindEpoch = e.nl.KindEpoch
 	if firstBuild {
 		e.allDirty = true
 		return
@@ -231,7 +278,7 @@ func (e *Engine) forEachPred(p *netlist.Pin, visit func(*netlist.Pin)) {
 	if e.flags[p.ID]&flagClockPin != 0 {
 		return
 	}
-	if p.Dir() == cell.Input {
+	if e.flags[p.ID]&flagOutput == 0 {
 		if !dataNet(p.Net) {
 			return
 		}
@@ -240,11 +287,11 @@ func (e *Engine) forEachPred(p *netlist.Pin, visit func(*netlist.Pin)) {
 		}
 		return
 	}
-	if isBeginPin(p) {
+	if e.flags[p.ID]&flagBegin != 0 {
 		return
 	}
 	for _, q := range p.Gate.Pins {
-		if q.Dir() == cell.Input && !q.Port().Clock {
+		if e.flags[q.ID]&(flagOutput|flagClockPin) == 0 {
 			visit(q)
 		}
 	}
@@ -255,22 +302,22 @@ func (e *Engine) forEachSucc(p *netlist.Pin, visit func(*netlist.Pin)) {
 	if e.flags[p.ID]&flagClockPin != 0 {
 		return
 	}
-	if p.Dir() == cell.Output {
+	if e.flags[p.ID]&flagOutput != 0 {
 		if !dataNet(p.Net) {
 			return
 		}
 		for _, q := range p.Net.Pins() {
-			if q.Dir() == cell.Input && !q.Port().Clock {
+			if e.flags[q.ID]&(flagOutput|flagClockPin) == 0 {
 				visit(q)
 			}
 		}
 		return
 	}
-	if isEndpointPin(p) {
+	if e.flags[p.ID]&flagEnd != 0 {
 		return
 	}
-	if z := p.Gate.Output(); z != nil {
-		visit(z)
+	if zid := e.outPin[p.ID]; zid != 0 {
+		visit(e.pinOf[zid-1])
 	}
 }
 
@@ -297,7 +344,7 @@ func (e *Engine) arrOf(p *netlist.Pin) float64 {
 	if e.flags[p.ID]&flagOnCycle != 0 {
 		return 0
 	}
-	if p.Dir() == cell.Input {
+	if e.flags[p.ID]&flagOutput == 0 {
 		if !dataNet(p.Net) {
 			return 0
 		}
@@ -324,10 +371,9 @@ func (e *Engine) arrOf(p *netlist.Pin) float64 {
 	}
 	worst := 0.0
 	have := false
-	tau := e.nl.Lib.Tech.Tau
 	for _, q := range g.Pins {
-		if q.Dir() == cell.Input && !q.Port().Clock && q.Net != nil && dataNet(q.Net) {
-			if a := e.arr[q.ID] + q.Port().Late*tau; !have || a > worst {
+		if e.flags[q.ID]&(flagOutput|flagClockPin) == 0 && q.Net != nil && dataNet(q.Net) {
+			if a := e.arr[q.ID] + e.late[q.ID]; !have || a > worst {
 				worst, have = a, true
 			}
 		}
@@ -352,13 +398,13 @@ func (e *Engine) reqOf(p *netlist.Pin) float64 {
 		}
 		return e.Period
 	}
-	if p.Dir() == cell.Output {
+	if e.flags[p.ID]&flagOutput != 0 {
 		if !dataNet(p.Net) {
 			return math.Inf(1)
 		}
 		r := math.Inf(1)
 		for i, q := range p.Net.Pins() {
-			if q.Dir() != cell.Input || q.Port().Clock {
+			if e.flags[q.ID]&(flagOutput|flagClockPin) != 0 {
 				continue
 			}
 			if v := e.req[q.ID] - e.Calc.WireDelay(p.Net, i); v < r {
@@ -367,19 +413,84 @@ func (e *Engine) reqOf(p *netlist.Pin) float64 {
 		}
 		return r
 	}
-	z := p.Gate.Output()
-	if z == nil || p.Gate.IsSequential() {
+	zid := e.outPin[p.ID]
+	if zid == 0 || p.Gate.IsSequential() {
 		return math.Inf(1)
 	}
-	return e.req[z.ID] - e.Calc.ArcDelay(p.Gate, z) - p.Port().Late*e.nl.Lib.Tech.Tau
+	z := e.pinOf[zid-1]
+	return e.req[z.ID] - e.Calc.ArcDelay(p.Gate, z) - e.late[p.ID]
 }
 
 // ---- dirty management & flushing ----
 
 func (e *Engine) ensure() {
-	if e.level == nil || e.levelEpoch != e.nl.Edits {
+	// Net-kind changes (ClassifyKinds, SetNetKind) redraw the data graph's
+	// edge set without any per-net event granularity, so they force a full
+	// relevel via the kind epoch. Ordinary connectivity edits are repaired
+	// in place by the observer callbacks and leave levelsValid set.
+	if e.level == nil || !e.levelsValid || e.kindEpoch != e.nl.KindEpoch {
 		e.relevel()
 	}
+}
+
+// relaxNet repairs the levelization after a connectivity edit on net n by
+// relaxing level[sink] ≥ level[driver]+1 forward through the fanout cone.
+// Levels are maintained as an over-approximation of the minimal Kahn
+// levels: edits only ever raise them (disconnects leave slack behind),
+// which preserves the one property every flush needs — strictly ascending
+// levels along every data edge — while avoiding the O(V+E) rebuild that
+// made structural transforms quadratic at scale. The BFS carries a budget:
+// blowing it means the edit created a cycle (levels would climb forever)
+// or churned pathologically, and either way the next query falls back to a
+// full relevel, which also re-derives the cycle flags.
+func (e *Engine) relaxNet(n *netlist.Net) {
+	if e.HasCycles {
+		// Cycle pins are frozen at whatever the last relevel discovered;
+		// patching levels around frozen pins is not worth the complexity.
+		e.levelsValid = false
+		return
+	}
+	if !dataNet(n) {
+		return
+	}
+	d := n.Driver()
+	if d == nil {
+		return
+	}
+	q := e.relaxQueue[:0]
+	dl := e.level[d.ID]
+	for _, p := range n.Pins() {
+		if p.Dir() != cell.Input || e.flags[p.ID]&flagClockPin != 0 {
+			continue
+		}
+		if e.level[p.ID] <= dl {
+			e.level[p.ID] = dl + 1
+			q = append(q, p.ID)
+		}
+	}
+	budget := 2*len(e.pinOf) + 64
+	maxL := int32(2*len(e.pinOf) + 1024) // inflation guard: levels past this are pathological
+	for len(q) > 0 {
+		id := q[len(q)-1]
+		q = q[:len(q)-1]
+		budget--
+		if budget < 0 || e.level[id] > maxL {
+			e.relaxQueue = q[:0]
+			e.levelsValid = false
+			return
+		}
+		p := e.pinOf[id]
+		if p == nil {
+			continue
+		}
+		e.forEachSucc(p, func(s *netlist.Pin) {
+			if e.level[s.ID] <= e.level[id] {
+				e.level[s.ID] = e.level[id] + 1
+				q = append(q, s.ID)
+			}
+		})
+	}
+	e.relaxQueue = q[:0]
 }
 
 func (e *Engine) markArr(id int) {
@@ -406,6 +517,16 @@ func (e *Engine) markReq(id int) {
 // geometry or load: the driver's arrival (arc delay sees the load), the
 // sinks' arrivals (wire delay), the driver's required (wire delay), and
 // the driver gate's input requireds (arc delay).
+//
+// Known approximation: a sink gate's output arrival also depends on WHICH
+// of its inputs are connected (arrOf maxes over connected data inputs
+// only), but that output is reached solely through value propagation from
+// the sink — so a connect/disconnect that leaves the sink's own arrival
+// numerically unchanged is stopped by the eps gate and the output keeps
+// its old value until something else dirties it. This matches the
+// original full-relevel engine exactly (relevel never re-marked values
+// either) and is locked in by the bit-identical flow goldens; flows that
+// need exact values after bulk restructuring call InvalidateAll.
 func (e *Engine) touchNet(n *netlist.Net) {
 	d := n.Driver()
 	if d != nil {
@@ -424,30 +545,14 @@ func (e *Engine) touchNet(n *netlist.Net) {
 	}
 }
 
-// pinHeap orders pin IDs by level (ascending when sign=+1, descending when
-// sign=-1), tie-broken by ID for determinism.
-type pinHeap struct {
-	ids   []int
-	level []int32
-	sign  int32
-}
-
-func (h *pinHeap) Len() int { return len(h.ids) }
-func (h *pinHeap) Less(i, j int) bool {
-	li := h.sign * h.level[h.ids[i]]
-	lj := h.sign * h.level[h.ids[j]]
-	if li != lj {
-		return li < lj
+// bucketPush files id under level l in the per-level worklists the
+// incremental flushes drain. Bucket backing arrays persist across flushes,
+// so steady-state pushes are a bounds check and an append.
+func (e *Engine) bucketPush(l int32, id int) {
+	for int(l) >= len(e.buckets) {
+		e.buckets = append(e.buckets, nil)
 	}
-	return h.ids[i] < h.ids[j]
-}
-func (h *pinHeap) Swap(i, j int)      { h.ids[i], h.ids[j] = h.ids[j], h.ids[i] }
-func (h *pinHeap) Push(x interface{}) { h.ids = append(h.ids, x.(int)) }
-func (h *pinHeap) Pop() interface{} {
-	n := len(h.ids) - 1
-	v := h.ids[n]
-	h.ids = h.ids[:n]
-	return v
+	e.buckets[l] = append(e.buckets[l], id)
 }
 
 // Flush brings all timing up to date. Queries call it implicitly.
@@ -477,7 +582,7 @@ func (e *Engine) flushAll() {
 	}
 	// Evaluate every pin once in level order (forward for arrival,
 	// backward for required).
-	ids := make([]int, 0, len(e.pinOf))
+	ids := e.idScratch[:0]
 	for id, p := range e.pinOf {
 		if p != nil {
 			ids = append(ids, id)
@@ -488,65 +593,109 @@ func (e *Engine) flushAll() {
 	// the analyzer pass counters (printed by tpsflow) worker-independent,
 	// not just the metrics.
 	e.Calc.Prepare(e.Workers)
-	if e.Workers > 1 {
-		e.flushAllParallel(ids)
-		return
-	}
-	sortByLevel(ids, e.level, false)
-	for _, id := range ids {
-		e.arr[id] = e.evalArr(e.pinOf[id])
-	}
-	sortByLevel(ids, e.level, true)
-	for _, id := range ids {
-		e.req[id] = e.evalReq(e.pinOf[id])
-	}
-}
 
-// flushAllParallel is the full flush with each level fanned out over the
-// worker pool. Correctness argument: levelization guarantees that every
-// predecessor read by arrOf sits at a strictly lower level than the pin
-// being evaluated (and every successor read by reqOf at a strictly higher
-// one); pins trapped on combinational cycles read nothing. Each level is
-// therefore a clean barrier, every pin is written exactly once at its own
-// slot, and the values are bit-identical to the serial pass for any worker
-// count. The delay caches are batch-prepared by flushAll so worker
-// goroutines only ever read them.
-func (e *Engine) flushAllParallel(ids []int) {
+	// Counting-sort the live pins into contiguous level blocks (ascending
+	// level, ascending ID within a level — ids is collected in ID order and
+	// the scatter is stable). Both passes and both execution modes walk
+	// these blocks, so the evaluation order is identical to the previous
+	// per-call sort/bucket construction without its allocations.
 	var maxL int32
 	for _, id := range ids {
 		if e.level[id] > maxL {
 			maxL = e.level[id]
 		}
 	}
-	buckets := make([][]int, maxL+1)
+	numL := int(maxL) + 1
+	if cap(e.levelStart) < numL+1 {
+		e.levelStart = make([]int32, numL+1)
+		e.levelCount = make([]int32, numL)
+	}
+	start := e.levelStart[:numL+1]
+	cur := e.levelCount[:numL]
+	for i := range start {
+		start[i] = 0
+	}
 	for _, id := range ids {
-		buckets[e.level[id]] = append(buckets[e.level[id]], id)
+		start[e.level[id]+1]++
 	}
-	for l := 0; l <= int(maxL); l++ {
-		lv := buckets[l]
-		par.For(e.Workers, len(lv), func(_, lo, hi int) {
-			for _, id := range lv[lo:hi] {
-				e.arr[id] = e.arrOf(e.pinOf[id])
-			}
-		})
+	for i := 1; i <= numL; i++ {
+		start[i] += start[i-1]
 	}
-	for l := int(maxL); l >= 0; l-- {
-		lv := buckets[l]
-		par.For(e.Workers, len(lv), func(_, lo, hi int) {
-			for _, id := range lv[lo:hi] {
-				e.req[id] = e.reqOf(e.pinOf[id])
-			}
-		})
+	copy(cur, start[:numL])
+	e.idScratch = ids
+	if cap(e.idSorted) < len(ids) {
+		e.idSorted = make([]int, len(ids))
 	}
-	e.Recomputes += 2 * len(ids) // same count the serial pass accumulates
+	sorted := e.idSorted[:len(ids)]
+	for _, id := range ids {
+		l := e.level[id]
+		sorted[cur[l]] = id
+		cur[l]++
+	}
+
+	if e.Workers > 1 {
+		// Parallel mode: each level fanned out over the worker pool.
+		// Correctness argument: levelization guarantees that every
+		// predecessor read by arrOf sits at a strictly lower level than the
+		// pin being evaluated (and every successor read by reqOf at a
+		// strictly higher one); pins trapped on combinational cycles read
+		// nothing. Each level is therefore a clean barrier, every pin is
+		// written exactly once at its own slot, and the values are
+		// bit-identical to the serial pass for any worker count. The delay
+		// caches are batch-prepared above so worker goroutines only ever
+		// read them.
+		for l := 0; l < numL; l++ {
+			lv := sorted[start[l]:start[l+1]]
+			par.For(e.Workers, len(lv), func(_, lo, hi int) {
+				for _, id := range lv[lo:hi] {
+					e.arr[id] = e.arrOf(e.pinOf[id])
+				}
+			})
+		}
+		for l := numL - 1; l >= 0; l-- {
+			lv := sorted[start[l]:start[l+1]]
+			par.For(e.Workers, len(lv), func(_, lo, hi int) {
+				for _, id := range lv[lo:hi] {
+					e.req[id] = e.reqOf(e.pinOf[id])
+				}
+			})
+		}
+		e.Recomputes += 2 * len(ids) // same count the serial pass accumulates
+		return
+	}
+	for l := 0; l < numL; l++ {
+		for _, id := range sorted[start[l]:start[l+1]] {
+			e.arr[id] = e.evalArr(e.pinOf[id])
+		}
+	}
+	for l := numL - 1; l >= 0; l-- {
+		for _, id := range sorted[start[l]:start[l+1]] {
+			e.req[id] = e.evalReq(e.pinOf[id])
+		}
+	}
 }
 
+// flushArr drains the pending arrival set in (level, ID) order through a
+// monotone bucket queue: one ascending sweep over the per-level worklists,
+// each bucket ID-sorted when the sweep reaches it. Under a valid
+// stratification every propagation pushes strictly upward, so the visit
+// order is exactly the (level, ID)-sorted order a priority queue would
+// produce — at O(1) per push instead of O(log n) level-array comparisons,
+// which dominated the incremental-flush profile at bulk design sizes.
+// Cyclic graphs are the one exception (frozen pins keep whatever level the
+// aborted Kahn pass left, so a push can land at or below the sweep
+// cursor); the sweep then rewinds to the pushed level — already-drained
+// entries are skipped by the pend flags — preserving correctness at
+// priority-queue-grade cost.
 func (e *Engine) flushArr() {
-	h := &pinHeap{level: e.level, sign: 1}
+	lo := int32(math.MaxInt32)
 	for _, id := range e.pendArr {
 		if id < len(e.pinOf) && e.pinOf[id] != nil {
 			e.inPendArr[id] = true // ids marked before arrays grew
-			h.ids = append(h.ids, id)
+			e.bucketPush(e.level[id], id)
+			if e.level[id] < lo {
+				lo = e.level[id]
+			}
 		} else if id < len(e.inPendArr) {
 			// The pin was tombstoned after being marked: clear the stale
 			// flag instead of leaking a permanent true that would shadow
@@ -555,58 +704,148 @@ func (e *Engine) flushArr() {
 		}
 	}
 	e.pendArr = e.pendArr[:0]
-	heap.Init(h)
-	for h.Len() > 0 {
-		id := heap.Pop(h).(int)
-		if !e.inPendArr[id] {
-			continue
-		}
-		e.inPendArr[id] = false
-		p := e.pinOf[id]
-		v := e.evalArr(p)
-		if math.Abs(v-e.arr[id]) <= eps {
-			continue
-		}
-		e.arr[id] = v
-		e.forEachSucc(p, func(q *netlist.Pin) {
-			if !e.inPendArr[q.ID] {
-				e.inPendArr[q.ID] = true
-				heap.Push(h, q.ID)
+	cur := int32(0)
+	rewind := int32(-1)
+	push := func(qid int) {
+		if !e.inPendArr[qid] {
+			e.inPendArr[qid] = true
+			ql := e.level[qid]
+			e.bucketPush(ql, qid)
+			if ql <= cur && (rewind < 0 || ql < rewind) {
+				rewind = ql
 			}
-		})
+		}
+	}
+	for l := lo; l < int32(len(e.buckets)); l++ {
+		cur = l
+		b := e.buckets[l]
+		if len(b) == 0 {
+			continue
+		}
+		sort.Ints(b)
+		for _, id := range b {
+			if !e.inPendArr[id] {
+				continue
+			}
+			e.inPendArr[id] = false
+			p := e.pinOf[id]
+			v := e.evalArr(p)
+			if math.Abs(v-e.arr[id]) <= eps {
+				continue
+			}
+			e.arr[id] = v
+			// forEachSucc, inlined: this is the engine's hottest loop and
+			// the closure dispatch per visited pin is measurable.
+			fl := e.flags[id]
+			if fl&flagClockPin != 0 {
+				continue
+			}
+			if fl&flagOutput != 0 {
+				if !dataNet(p.Net) {
+					continue
+				}
+				for _, q := range p.Net.Pins() {
+					if e.flags[q.ID]&(flagOutput|flagClockPin) == 0 {
+						push(q.ID)
+					}
+				}
+				continue
+			}
+			if fl&flagEnd != 0 {
+				continue
+			}
+			if zid := e.outPin[id]; zid != 0 {
+				push(int(zid - 1))
+			}
+		}
+		if rewind >= 0 {
+			// Cycle-frozen push at or below the cursor: leave this bucket
+			// intact (drained ids fail the pend check on the revisit) and
+			// resume from the lowest pushed level.
+			l = rewind - 1
+			rewind = -1
+			continue
+		}
+		e.buckets[l] = b[:0]
 	}
 }
 
 func (e *Engine) flushReq() {
-	h := &pinHeap{level: e.level, sign: -1}
+	hi := int32(-1)
 	for _, id := range e.pendReq {
 		if id < len(e.pinOf) && e.pinOf[id] != nil {
 			e.inPendReq[id] = true // ids marked before arrays grew
-			h.ids = append(h.ids, id)
+			e.bucketPush(e.level[id], id)
+			if e.level[id] > hi {
+				hi = e.level[id]
+			}
 		} else if id < len(e.inPendReq) {
 			e.inPendReq[id] = false // tombstoned since marked (see flushArr)
 		}
 	}
 	e.pendReq = e.pendReq[:0]
-	heap.Init(h)
-	for h.Len() > 0 {
-		id := heap.Pop(h).(int)
-		if !e.inPendReq[id] {
-			continue
-		}
-		e.inPendReq[id] = false
-		p := e.pinOf[id]
-		v := e.evalReq(p)
-		if math.Abs(v-e.req[id]) <= eps && !(math.IsInf(v, 1) && math.IsInf(e.req[id], 1)) {
-			continue
-		}
-		e.req[id] = v
-		e.forEachPred(p, func(q *netlist.Pin) {
-			if !e.inPendReq[q.ID] {
-				e.inPendReq[q.ID] = true
-				heap.Push(h, q.ID)
+	// Mirror of flushArr with the sweep descending: required times
+	// propagate to strictly lower levels, so the bucket queue is monotone
+	// downward and the rewind guard fires on upward pushes instead.
+	cur := int32(0)
+	rewind := int32(-1)
+	push := func(qid int) {
+		if !e.inPendReq[qid] {
+			e.inPendReq[qid] = true
+			ql := e.level[qid]
+			e.bucketPush(ql, qid)
+			if ql >= cur && (rewind < 0 || ql > rewind) {
+				rewind = ql
 			}
-		})
+		}
+	}
+	for l := hi; l >= 0; l-- {
+		cur = l
+		b := e.buckets[l]
+		if len(b) == 0 {
+			continue
+		}
+		sort.Ints(b)
+		for _, id := range b {
+			if !e.inPendReq[id] {
+				continue
+			}
+			e.inPendReq[id] = false
+			p := e.pinOf[id]
+			v := e.evalReq(p)
+			if math.Abs(v-e.req[id]) <= eps && !(math.IsInf(v, 1) && math.IsInf(e.req[id], 1)) {
+				continue
+			}
+			e.req[id] = v
+			// forEachPred, inlined (see flushArr).
+			fl := e.flags[id]
+			if fl&flagClockPin != 0 {
+				continue
+			}
+			if fl&flagOutput == 0 {
+				if !dataNet(p.Net) {
+					continue
+				}
+				if d := p.Net.Driver(); d != nil {
+					push(d.ID)
+				}
+				continue
+			}
+			if fl&flagBegin != 0 {
+				continue
+			}
+			for _, q := range p.Gate.Pins {
+				if e.flags[q.ID]&(flagOutput|flagClockPin) == 0 {
+					push(q.ID)
+				}
+			}
+		}
+		if rewind >= 0 {
+			l = rewind + 1
+			rewind = -1
+			continue
+		}
+		e.buckets[l] = b[:0]
 	}
 }
 
@@ -750,7 +989,41 @@ func (e *Engine) GateMoved(g *netlist.Gate) {
 
 // GateResized implements netlist.Observer.
 func (e *Engine) GateResized(g *netlist.Gate) {
-	if e.level == nil || e.allDirty {
+	if e.level == nil {
+		return
+	}
+	if e.levelsValid {
+		// ReplaceCell may swap a pin's derived role (clock/begin/end) even
+		// with identical port shapes; any drift invalidates the leveling
+		// and the begin/end lists wholesale. SetSize and friends never
+		// drift, so the common case is a cheap confirming scan. The cached
+		// Late product is refreshed unconditionally — the replacement cell
+		// may change it without touching any role.
+		tau := e.nl.Lib.Tech.Tau
+		for _, p := range g.Pins {
+			if p.ID >= len(e.flags) {
+				e.levelsValid = false
+				break
+			}
+			e.late[p.ID] = p.Port().Late * tau
+			fl := pinFlag(0)
+			if p.Port().Clock {
+				fl = flagClockPin
+			} else {
+				if isBeginPin(p) {
+					fl |= flagBegin
+				}
+				if isEndpointPin(p) {
+					fl |= flagEnd
+				}
+			}
+			if fl != e.flags[p.ID]&(flagClockPin|flagBegin|flagEnd) {
+				e.levelsValid = false
+				break
+			}
+		}
+	}
+	if e.allDirty {
 		return
 	}
 	for _, p := range g.Pins {
@@ -771,90 +1044,222 @@ func (e *Engine) GateResized(g *netlist.Gate) {
 	}
 }
 
-// NetChanged implements netlist.Observer. Connectivity changes bump
-// nl.Edits and force releveling lazily; weight-only changes just touch the
-// net (cheap and conservative).
+// NetChanged implements netlist.Observer. Connectivity changes repair the
+// levelization in place (relaxNet) and mark the edit site dirty;
+// weight-only changes just touch the net (cheap and conservative — the
+// relaxation scan finds nothing to raise).
 func (e *Engine) NetChanged(n *netlist.Net) {
-	if e.level == nil || e.allDirty {
+	if e.level == nil {
+		return
+	}
+	if e.levelsValid {
+		e.relaxNet(n)
+	}
+	if e.allDirty {
 		return
 	}
 	e.touchNet(n)
 }
 
-// GateAdded implements netlist.Observer (topology epoch handles it).
-func (e *Engine) GateAdded(*netlist.Gate) {}
+// GateAdded implements netlist.Observer. Both fresh and revived gates
+// arrive with every pin disconnected, so registration is purely local:
+// grow the pin-indexed arrays, record flags and list membership, and lift
+// each combinational output above the gate's inputs (the only timing edges
+// a disconnected gate has). Only genuinely new pin IDs are marked dirty —
+// a revived pin keeps its stale values exactly as a full relevel would,
+// and the reconnecting edits mark it through touchNet.
+func (e *Engine) GateAdded(g *netlist.Gate) {
+	if e.level == nil || !e.levelsValid {
+		return // the next relevel registers (and marks) the pins
+	}
+	oldNP := len(e.pinOf)
+	np := e.nl.NumPins()
+	e.arr = grow(e.arr, np)
+	e.req = grow(e.req, np)
+	e.late = grow(e.late, np)
+	e.level = growI32(e.level, np)
+	e.outPin = growI32(e.outPin, np)
+	e.flags = growFlags(e.flags, np)
+	e.inPendArr = growBool(e.inPendArr, np)
+	e.inPendReq = growBool(e.inPendReq, np)
+	e.pinOf = growPins(e.pinOf, np)
+	tau := e.nl.Lib.Tech.Tau
+	zid := int32(0)
+	if z := g.Output(); z != nil {
+		zid = int32(z.ID) + 1
+	}
+	for _, p := range g.Pins {
+		e.pinOf[p.ID] = p
+		e.outPin[p.ID] = zid
+		fl := pinFlag(0)
+		if p.Dir() == cell.Output {
+			fl |= flagOutput
+		}
+		e.late[p.ID] = p.Port().Late * tau
+		if p.Port().Clock {
+			fl |= flagClockPin
+		} else {
+			if isBeginPin(p) {
+				fl |= flagBegin
+				e.begins = insertByID(e.begins, p)
+			}
+			if isEndpointPin(p) {
+				fl |= flagEnd
+				e.endpoints = insertByID(e.endpoints, p)
+			}
+		}
+		e.flags[p.ID] = fl
+	}
+	for _, p := range g.Pins {
+		if p.Dir() != cell.Output || e.flags[p.ID]&(flagClockPin|flagBegin) != 0 {
+			continue
+		}
+		lv := int32(0)
+		for _, q := range g.Pins {
+			if q.Dir() == cell.Input && e.flags[q.ID]&flagClockPin == 0 && e.level[q.ID] >= lv {
+				lv = e.level[q.ID] + 1
+			}
+		}
+		if e.level[p.ID] < lv {
+			e.level[p.ID] = lv
+		}
+	}
+	if e.allDirty {
+		return
+	}
+	for _, p := range g.Pins {
+		if p.ID >= oldNP {
+			e.markArr(p.ID)
+			e.markReq(p.ID)
+		}
+	}
+}
 
-// GateRemoved implements netlist.Observer.
-func (e *Engine) GateRemoved(*netlist.Gate) {}
+// GateRemoved implements netlist.Observer. The per-pin Disconnects have
+// already fired (RemoveGate detaches every pin first), so all that remains
+// is tombstoning: nil the pinOf slots so flushes skip them, and drop the
+// gate's pins from the begin/end lists in place, preserving ID order.
+func (e *Engine) GateRemoved(g *netlist.Gate) {
+	if e.level == nil || !e.levelsValid {
+		return // the next relevel rebuilds pinOf and the lists anyway
+	}
+	hadFlagged := false
+	for _, p := range g.Pins {
+		if p.ID >= len(e.pinOf) {
+			continue
+		}
+		if e.flags[p.ID]&(flagBegin|flagEnd) != 0 {
+			hadFlagged = true
+		}
+		e.flags[p.ID] = 0
+		e.pinOf[p.ID] = nil
+	}
+	if hadFlagged {
+		e.begins = dropGatePins(e.begins, g)
+		e.endpoints = dropGatePins(e.endpoints, g)
+	}
+}
+
+// NetlistCompacted implements netlist.CompactObserver: pin IDs were
+// reassigned, so every pin-indexed array and pending queue is dropped and
+// the next query relevels and recomputes from scratch.
+func (e *Engine) NetlistCompacted() {
+	e.arr = nil
+	e.req = nil
+	e.late = nil
+	e.level = nil
+	e.outPin = nil
+	e.flags = nil
+	e.pinOf = nil
+	e.inPendArr = nil
+	e.inPendReq = nil
+	e.pendArr = e.pendArr[:0]
+	e.pendReq = e.pendReq[:0]
+	e.endpoints = e.endpoints[:0]
+	e.begins = e.begins[:0]
+	e.levelsValid = false
+	e.allDirty = true
+}
 
 // ---- small helpers ----
 
+// The grow helpers extend pin-indexed arrays with amortized doubling:
+// GateAdded grows them a few pins at a time, so exact-fit reallocation
+// would copy the whole design per added gate. The reserve tail past len is
+// zero (make zeroes the full capacity and nothing ever writes past len),
+// matching what a fresh exact-size array would hold.
+
 func grow(s []float64, n int) []float64 {
-	if len(s) >= n {
-		return s
+	if cap(s) >= n {
+		return s[:n]
 	}
-	out := make([]float64, n)
+	out := make([]float64, n, max(n, 2*cap(s)))
 	copy(out, s)
 	return out
 }
 
 func growI32(s []int32, n int) []int32 {
-	if len(s) >= n {
-		return s
+	if cap(s) >= n {
+		return s[:n]
 	}
-	out := make([]int32, n)
+	out := make([]int32, n, max(n, 2*cap(s)))
 	copy(out, s)
 	return out
 }
 
 func growBool(s []bool, n int) []bool {
-	if len(s) >= n {
-		return s
+	if cap(s) >= n {
+		return s[:n]
 	}
-	out := make([]bool, n)
+	out := make([]bool, n, max(n, 2*cap(s)))
 	copy(out, s)
 	return out
 }
 
 func growFlags(s []pinFlag, n int) []pinFlag {
-	if len(s) >= n {
-		return s
+	if cap(s) >= n {
+		return s[:n]
 	}
-	out := make([]pinFlag, n)
+	out := make([]pinFlag, n, max(n, 2*cap(s)))
 	copy(out, s)
 	return out
 }
 
 func growPins(s []*netlist.Pin, n int) []*netlist.Pin {
-	if len(s) >= n {
-		return s
+	if cap(s) >= n {
+		return s[:n]
 	}
-	out := make([]*netlist.Pin, n)
+	out := make([]*netlist.Pin, n, max(n, 2*cap(s)))
 	copy(out, s)
 	return out
 }
 
-// sortByLevel sorts ids by level ascending (or descending), stable on ID.
-func sortByLevel(ids []int, level []int32, desc bool) {
-	// Counting sort by level: levels are small and dense.
-	var maxL int32
-	for _, id := range ids {
-		if level[id] > maxL {
-			maxL = level[id]
+// insertByID inserts p into s preserving ascending pin-ID order — the
+// order relevel produces (gate slabs append in creation order, so gate
+// iteration yields ascending pin IDs) and the order TNS summation depends
+// on for bit-identical results. Fresh pins take the append fast path;
+// revived pins binary-insert.
+func insertByID(s []*netlist.Pin, p *netlist.Pin) []*netlist.Pin {
+	if n := len(s); n == 0 || s[n-1].ID < p.ID {
+		return append(s, p)
+	}
+	i := sort.Search(len(s), func(i int) bool { return s[i].ID >= p.ID })
+	if i < len(s) && s[i].ID == p.ID {
+		return s
+	}
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = p
+	return s
+}
+
+// dropGatePins filters g's pins out of s in place, preserving order.
+func dropGatePins(s []*netlist.Pin, g *netlist.Gate) []*netlist.Pin {
+	out := s[:0]
+	for _, p := range s {
+		if p.Gate != g {
+			out = append(out, p)
 		}
 	}
-	buckets := make([][]int, maxL+1)
-	for _, id := range ids {
-		buckets[level[id]] = append(buckets[level[id]], id)
-	}
-	out := ids[:0]
-	if desc {
-		for l := int(maxL); l >= 0; l-- {
-			out = append(out, buckets[l]...)
-		}
-	} else {
-		for l := 0; l <= int(maxL); l++ {
-			out = append(out, buckets[l]...)
-		}
-	}
+	return out
 }
