@@ -193,6 +193,11 @@ func run() error {
 	st := d.Stats()
 	fmt.Printf("     analyzers: steiner rebuilds=%d, congestion passes full=%d incremental=%d, timing recomputes=%d\n",
 		st.SteinerRebuilds, st.CongestionFullPasses, st.CongestionIncrementalPasses, st.TimingRecomputes)
+	if st.FM.Pops > 0 {
+		fmt.Printf("     fm: pushes=%d pops=%d stale=%.1f%% updates=%d compactions=%d\n",
+			st.FM.Pushes, st.FM.Pops, 100*float64(st.FM.StalePops)/float64(st.FM.Pops),
+			st.FM.GainUpdates, st.FM.Compactions)
+	}
 	printPhases(d.PhaseTimes(), nil)
 
 	if *compare {
@@ -209,14 +214,16 @@ func run() error {
 		same := m.WorstSlack == mr.WorstSlack && m.TNS == mr.TNS &&
 			m.SteinerWireUm == mr.SteinerWireUm && m.AreaUm2 == mr.AreaUm2 &&
 			m.RoutedWireUm == mr.RoutedWireUm && m.RouteOverflows == mr.RouteOverflows
-		fmt.Printf("     compare vs workers=1: metrics identical=%v\n", same)
+		stSame := d.Stats() == ref.Stats()
+		fmt.Printf("     compare vs workers=1: metrics identical=%v analyzer+fm stats identical=%v\n", same, stSame)
+		same = same && stSame
 		printPhases(d.PhaseTimes(), ref.PhaseTimes())
 		if mr.CPUSeconds > 0 {
 			fmt.Printf("     speedup: %.2fx end-to-end (%.1fs → %.1fs)\n",
 				mr.CPUSeconds/m.CPUSeconds, mr.CPUSeconds, m.CPUSeconds)
 		}
 		if !same {
-			return fmt.Errorf("metrics diverged between worker counts")
+			return fmt.Errorf("metrics or analyzer stats diverged between worker counts")
 		}
 	}
 

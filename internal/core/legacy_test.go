@@ -73,6 +73,7 @@ func runTPSLegacy(c *Context, opt TPSOptions) Metrics {
 				placer.Reflow()
 				stop()
 			}
+			place.PublishFMStats(c, placer)
 		}
 		bd := c.Im.BinW()
 		if c.Im.BinH() > bd {

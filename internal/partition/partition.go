@@ -10,11 +10,59 @@ package partition
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"tps/internal/par"
 )
+
+// pcgStream is the fixed second seed word for every PCG stream below.
+// PR 9 moved the restart and matching RNGs from math/rand's Go1 source
+// (whose Seed burns a 607-entry feedback table per call — a measurable
+// slice of Bipartition at quadrisection scale, where thousands of small
+// regions each seed several streams) to math/rand/v2's two-word PCG.
+// Streams stay deterministic per (Seed, restart); only the drawn
+// sequences differ from the pre-PR-9 engine.
+const pcgStream = 0x9e3779b97f4a7c15
+
+// Stats counts FM gain-structure traffic: how many entries the refinement
+// passes pushed into and popped out of the gain priority structure, how
+// many of the pops were stale (superseded by a newer push before they
+// surfaced), how many neighbor gain updates the moves generated, and how
+// often the structure compacted its live entries. The counters are
+// deterministic — they depend only on the hypergraph and Options, never on
+// scheduling — so flows that sum them across worker-forked Bipartition
+// calls stay bit-identical at any worker count.
+type Stats struct {
+	Pushes      uint64 // entries pushed into the gain structure
+	Pops        uint64 // entries popped (live and stale)
+	StalePops   uint64 // pops discarded as stale or locked
+	GainUpdates uint64 // neighbor gain-delta applications
+	Compactions uint64 // live-entry compactions of the gain structure
+}
+
+// addAtomic folds d into s with atomic adds, so concurrent Bipartition
+// calls (forked quadrisection cells) can share one sink.
+func (s *Stats) addAtomic(d Stats) {
+	atomic.AddUint64(&s.Pushes, d.Pushes)
+	atomic.AddUint64(&s.Pops, d.Pops)
+	atomic.AddUint64(&s.StalePops, d.StalePops)
+	atomic.AddUint64(&s.GainUpdates, d.GainUpdates)
+	atomic.AddUint64(&s.Compactions, d.Compactions)
+}
+
+// Snapshot returns an atomically-read copy of a shared sink.
+func (s *Stats) Snapshot() Stats {
+	return Stats{
+		Pushes:      atomic.LoadUint64(&s.Pushes),
+		Pops:        atomic.LoadUint64(&s.Pops),
+		StalePops:   atomic.LoadUint64(&s.StalePops),
+		GainUpdates: atomic.LoadUint64(&s.GainUpdates),
+		Compactions: atomic.LoadUint64(&s.Compactions),
+	}
+}
 
 // tieCheck, when set by tests, verifies every memoized tie value in
 // fmPass against the reference lookAheadGain and panics on divergence.
@@ -66,6 +114,15 @@ type Options struct {
 	// winner is picked by (cut, restart index), so the result is identical
 	// at any worker count; <=1 runs serially.
 	Workers int
+	// Stats, when non-nil, receives the run's gain-structure counters
+	// (atomic adds: many concurrent Bipartition calls may share one sink).
+	Stats *Stats
+	// Scratch, when non-nil, supplies reusable per-pass FM scratch
+	// (gain/tie/bucket arrays, locked bitsets) so repeated Bipartition
+	// calls — the quadrisection tree makes tens of thousands of them —
+	// stop re-allocating. Purely an allocation amortizer: results are
+	// bit-identical with or without it.
+	Scratch *ScratchPool
 }
 
 // DefaultOptions returns sensible defaults for placement-sized problems.
@@ -85,6 +142,36 @@ func DefaultOptions(seed int64) Options {
 type Result struct {
 	Part []int8
 	Cut  float64
+	// Stats are this run's gain-structure counters (also folded into
+	// Options.Stats when that sink is set).
+	Stats Stats
+}
+
+// ScratchPool amortizes FM scratch allocations across Bipartition calls.
+// It is safe for concurrent use; the pooled buffers never influence
+// results (every pass fully re-initializes the regions it reads).
+type ScratchPool struct {
+	pool sync.Pool
+}
+
+// NewScratchPool returns an empty pool. A nil *ScratchPool is valid and
+// simply allocates fresh scratch per call.
+func NewScratchPool() *ScratchPool { return &ScratchPool{} }
+
+func (sp *ScratchPool) get() *fmScratch {
+	if sp == nil {
+		return &fmScratch{}
+	}
+	if s, ok := sp.pool.Get().(*fmScratch); ok {
+		return s
+	}
+	return &fmScratch{}
+}
+
+func (sp *ScratchPool) put(s *fmScratch) {
+	if sp != nil {
+		sp.pool.Put(s)
+	}
 }
 
 // Cut returns the weighted cut of part on h.
@@ -120,13 +207,16 @@ func Bipartition(h *Hypergraph, opt Options) Result {
 	if opt.Tolerance <= 0 {
 		opt.Tolerance = 0.1
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
+	rng := rand.New(rand.NewPCG(uint64(opt.Seed), pcgStream))
+	sc := opt.Scratch.get()
+	defer opt.Scratch.put(sc)
+	sc.stats = Stats{}
 
 	levels := []*Hypergraph{normalize(h)}
 	maps := [][]int32{}
 	for levels[len(levels)-1].NumV > opt.CoarsenTo {
 		cur := levels[len(levels)-1]
-		next, vmap := coarsen(cur, rng)
+		next, vmap := coarsen(cur, rng, sc)
 		if next.NumV >= cur.NumV*9/10 {
 			break // stalled; further matching won't help
 		}
@@ -137,7 +227,7 @@ func Bipartition(h *Hypergraph, opt Options) Result {
 	coarsest := levels[len(levels)-1]
 	part := initialPartition(coarsest, opt)
 	repairBalance(coarsest, part, opt)
-	refine(coarsest, part, opt)
+	refine(coarsest, part, opt, sc)
 
 	for li := len(levels) - 2; li >= 0; li-- {
 		fine := levels[li]
@@ -148,9 +238,12 @@ func Bipartition(h *Hypergraph, opt Options) Result {
 		}
 		part = finePart
 		repairBalance(fine, part, opt)
-		refine(fine, part, opt)
+		refine(fine, part, opt, sc)
 	}
-	return Result{Part: part, Cut: Cut(levels[0], part)}
+	if opt.Stats != nil {
+		opt.Stats.addAtomic(sc.stats)
+	}
+	return Result{Part: part, Cut: Cut(levels[0], part), Stats: sc.stats}
 }
 
 // normalize copies h with deduplicated net pins and dropped degenerate
@@ -208,9 +301,12 @@ func incidence(h *Hypergraph) [][]int32 {
 
 // coarsen contracts a heavy-edge-style matching: each free vertex picks
 // the unmatched neighbor with the largest accumulated clique weight
-// (w/(|net|−1) per shared net). Fixed vertices stay singletons.
-func coarsen(h *Hypergraph, rng *rand.Rand) (*Hypergraph, []int32) {
-	inc := incidence(h)
+// (w/(|net|−1) per shared net). Fixed vertices stay singletons. The
+// incidence comes from the scratch CSR and the contracted pin lists land
+// in one slab — per-level coarsening allocates O(1) objects, not O(nets).
+func coarsen(h *Hypergraph, rng *rand.Rand, sc *fmScratch) (*Hypergraph, []int32) {
+	sc.buildIncidence(h)
+	inc := &sc.inc
 	order := rng.Perm(h.NumV)
 	match := make([]int32, h.NumV)
 	for i := range match {
@@ -225,7 +321,7 @@ func coarsen(h *Hypergraph, rng *rand.Rand) (*Hypergraph, []int32) {
 			continue
 		}
 		touched = touched[:0]
-		for _, ni := range inc[v] {
+		for _, ni := range inc.row(v) {
 			net := h.Nets[ni]
 			if len(net) > 16 {
 				continue // huge nets carry no clustering signal
@@ -290,19 +386,27 @@ func coarsen(h *Hypergraph, rng *rand.Rand) (*Hypergraph, []int32) {
 	for i := range stamp {
 		stamp[i] = -1
 	}
+	totalPins := 0
+	for _, net := range h.Nets {
+		totalPins += len(net)
+	}
+	slab := make([]int32, 0, totalPins)
+	out.Nets = make([][]int32, 0, len(h.Nets))
+	out.Weight = make([]float64, 0, len(h.Nets))
 	for i, net := range h.Nets {
-		var uniq []int32
+		start := len(slab)
 		for _, v := range net {
 			nv := vmap[v]
 			if stamp[nv] != int32(i) {
 				stamp[nv] = int32(i)
-				uniq = append(uniq, nv)
+				slab = append(slab, nv)
 			}
 		}
-		if len(uniq) < 2 {
+		if len(slab)-start < 2 {
+			slab = slab[:start]
 			continue
 		}
-		out.Nets = append(out.Nets, uniq)
+		out.Nets = append(out.Nets, slab[start:len(slab)])
 		out.Weight = append(out.Weight, h.netWeight(i))
 	}
 	return out, vmap
@@ -324,7 +428,7 @@ func initialPartition(h *Hypergraph, opt Options) []int8 {
 	parts := make([][]int8, opt.Restarts)
 	cuts := make([]float64, opt.Restarts)
 	par.ForEach(opt.Workers, opt.Restarts, func(r int) {
-		rng := rand.New(rand.NewSource(par.DeriveSeed(opt.Seed, 1, int64(r))))
+		rng := rand.New(rand.NewPCG(uint64(par.DeriveSeed(opt.Seed, 1, int64(r))), pcgStream))
 		part := growPartition(h, inc, target, rng)
 		parts[r], cuts[r] = part, Cut(h, part)
 	})
@@ -362,7 +466,7 @@ func growPartition(h *Hypergraph, inc [][]int32, target float64, rng *rand.Rand)
 			}
 		}
 		if len(queue) == 0 && h.NumV > 0 {
-			seed := int32(rng.Intn(h.NumV))
+			seed := int32(rng.IntN(h.NumV))
 			for tries := 0; h.Fixed[seed] != -1 && tries < h.NumV; tries++ {
 				seed = (seed + 1) % int32(h.NumV)
 			}
@@ -496,7 +600,10 @@ func repairBalance(h *Hypergraph, part []int8, opt Options) {
 	}
 }
 
-// gainEntry is a lazy max-heap element.
+// gainEntry is one queued (vertex, key) pair. Entries are lazy: a newer
+// push for the same vertex supersedes older ones, which are recognized by
+// their stamp and discarded when popped (or dropped wholesale by a
+// compaction).
 type gainEntry struct {
 	gain  float64
 	tie   float64 // look-ahead secondary gain
@@ -505,11 +612,13 @@ type gainEntry struct {
 }
 
 // gainHeap is a typed slice max-heap ordered by (gain desc, look-ahead tie
-// desc, vertex asc) — the same cleanup route's priority queue got: no
-// container/heap interface dispatch, no interface{} boxing per push in the
-// FM inner loop. The ordering is a strict total order except for repeated
-// pushes of the same vertex with equal gains, whose relative pop order is
-// irrelevant: stamp-based staleness makes all but the latest a no-op.
+// desc, vertex asc): no container/heap interface dispatch, no interface{}
+// boxing per push in the FM inner loop. Since PR 9 it serves as the
+// within-bucket mini-heap of bucketQueue (and as the test-only legacy
+// reference engine's global heap). The ordering is a strict total order
+// except for repeated pushes of the same vertex with equal keys, whose
+// relative pop order is irrelevant: stamp-based staleness makes all but
+// the latest a no-op.
 type gainHeap []gainEntry
 
 func (g gainHeap) less(i, j int) bool {
@@ -576,10 +685,248 @@ func (g *gainHeap) pop() gainEntry {
 	return top
 }
 
+// fmMove records one accepted move of a pass: the vertex and its gain at
+// move time. The pass keeps the full sequence to roll back to the best
+// prefix; the differential fuzz reads it to pin move-order equivalence
+// against the legacy heap reference.
+type fmMove struct {
+	v    int32
+	gain float64
+}
+
+// csr is a compact vertex → incident-net index: row v is
+// dat[off[v]:off[v+1]], net indices ascending. That is the same per-vertex
+// order the append-grown [][]int32 incidence produced, which the gain and
+// tie summations rely on for bit-identical float accumulation.
+type csr struct {
+	off []int32
+	dat []int32
+}
+
+func (c *csr) row(v int32) []int32 { return c.dat[c.off[v]:c.off[v+1]] }
+
+// grown returns s resized to n elements, reallocating only on capacity
+// growth. Contents are unspecified; callers re-initialize what they read.
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+func bitGet(b []uint64, i int32) bool { return b[i>>6]&(1<<(uint32(i)&63)) != 0 }
+func bitSet(b []uint64, i int32)      { b[i>>6] |= 1 << (uint32(i) & 63) }
+
+// zeroTie is the tie evaluator when look-ahead is disabled.
+func zeroTie(int32) float64 { return 0 }
+
+// fmMaxBuckets caps the bucket count so degenerate weight distributions
+// cannot blow up the dense bucket array; wider ("big") buckets stay exact
+// through the within-bucket heap order.
+const fmMaxBuckets = 4096
+
+// bucketQueue is the FM gain priority structure (PR 9). Entries are spread
+// across dense gain buckets by a per-pass monotone quantizer — a strictly
+// higher bucket implies a strictly higher gain — and each bucket is a small
+// gainHeap carrying the full (gain desc, tie desc, vertex asc) order, so
+// popping the maximum of the highest non-empty bucket reproduces the old
+// single global heap's pop order bit for bit while keeping every sift
+// logarithmic in one bucket's population instead of the whole pass's push
+// volume. With uniform net weights the quantizer step is the weight itself
+// (gains live on that lattice, so each bucket is one exact gain level and
+// the mini-heaps only break look-ahead ties); with non-uniform weights the
+// span is split evenly across at most fmMaxBuckets buckets and the heap
+// order supplies exactness inside each.
+type bucketQueue struct {
+	lo      float64 // lowest representable gain (-max weighted degree)
+	inv     float64 // 1/step; 0 collapses everything into bucket 0
+	buckets []gainHeap
+	maxB    int // highest bucket that may be non-empty
+	size    int // queued entries, stale included
+	live    int // vertices whose latest entry is still queued
+}
+
+func (b *bucketQueue) reset(nb int, lo, step float64) {
+	if cap(b.buckets) < nb {
+		nw := make([]gainHeap, nb)
+		copy(nw, b.buckets[:cap(b.buckets)])
+		b.buckets = nw
+	}
+	b.buckets = b.buckets[:nb]
+	for i := range b.buckets {
+		b.buckets[i] = b.buckets[i][:0]
+	}
+	b.lo = lo
+	b.inv = 0
+	if step > 0 {
+		b.inv = 1 / step
+	}
+	b.maxB = -1
+	b.size = 0
+	b.live = 0
+}
+
+// idx maps a gain to its bucket. Truncation and clamping are both monotone,
+// so bucket order can never contradict gain order even at the span edges.
+func (b *bucketQueue) idx(g float64) int {
+	i := int((g-b.lo)*b.inv + 0.5)
+	if i < 0 {
+		return 0
+	}
+	if i >= len(b.buckets) {
+		return len(b.buckets) - 1
+	}
+	return i
+}
+
+func (b *bucketQueue) push(e gainEntry) {
+	i := b.idx(e.gain)
+	b.buckets[i].push(e)
+	if i > b.maxB {
+		b.maxB = i
+	}
+	b.size++
+}
+
+// pop returns the queue's maximum entry by (gain, tie, vertex), live or
+// stale — exactly what the global heap's pop returned.
+func (b *bucketQueue) pop() (gainEntry, bool) {
+	for b.maxB >= 0 {
+		bk := &b.buckets[b.maxB]
+		if len(*bk) == 0 {
+			b.maxB--
+			continue
+		}
+		b.size--
+		return bk.pop(), true
+	}
+	return gainEntry{}, false
+}
+
+// compact drops every entry failing isLive and re-heapifies the survivors
+// in place. Only stale entries are removed and live keys form a strict
+// total order, so the pop sequence callers observe is unchanged.
+func (b *bucketQueue) compact(isLive func(gainEntry) bool) {
+	b.size = 0
+	for i := 0; i <= b.maxB; i++ {
+		bk := b.buckets[i]
+		n := 0
+		for _, e := range bk {
+			if isLive(e) {
+				bk[n] = e
+				n++
+			}
+		}
+		bk = bk[:n]
+		bk.init()
+		b.buckets[i] = bk
+		b.size += n
+	}
+	for b.maxB >= 0 && len(b.buckets[b.maxB]) == 0 {
+		b.maxB--
+	}
+}
+
+// fmScratch is the reusable per-pass working state of the FM engine (PR
+// 9): the CSR incidence, side counts, gains, stamps, the locked bitset,
+// the tie-code memo, the bucketed gain queue, and the per-move dedup
+// buffers. One scratch serves one Bipartition call at a time; a
+// ScratchPool recycles them across the quadrisection tree. Buffers grow
+// amortized and every pass re-initializes the regions it reads, so reuse
+// can never leak state between calls.
+type fmScratch struct {
+	inc     csr
+	pins    csr // net → pins, one slab (same order as h.Nets rows)
+	incCur  []int32
+	nets    []fmNet
+	verts   []fmVert
+	locked  []uint64 // bitset of locked ∪ fixed vertices
+	touched []int32
+	seq     []fmMove
+	bq      bucketQueue
+	stats   Stats
+}
+
+// fmNet packs everything the FM inner loops read about a net — weight,
+// side counts, and the look-ahead tie code (both sides, 2 bits each) —
+// into one 24-byte record, so a random net index touches one cache line
+// instead of one line per parallel array.
+type fmNet struct {
+	w    float64
+	cnt  [2]int32
+	code uint8
+	_    [7]byte
+}
+
+// fmVert is the matching per-vertex record: current gain, the tie value
+// of the most recent update, the staleness stamp, the per-move touch and
+// tie-dirty epochs, and the live flag. Exactly 32 bytes — two vertices
+// per cache line.
+type fmVert struct {
+	gain    float64
+	lastTie float64
+	stamp   uint32
+	touchEp uint32 // move epoch of the vertex's last touch (push dedup)
+	tieEp   uint32 // move epoch while the vertex's tie is pending evaluation
+	flags   uint32 // fmLive: the vertex's latest queue entry is still queued
+}
+
+const fmLive uint32 = 1
+
+// tieTab maps a one-sided tie code to the factor its net contributes to
+// the tie sum. Folding the branchy += / -= pair into t += w*tieTab[b] is
+// bit-exact: w*1 == w and w*(-1) == -w exactly, t + (-w) is IEEE-identical
+// to t - w, and the b == 0 row adds a signed zero, which never changes t
+// (the sums here cannot produce -0, and -0 + ±0 stays -0). Only b == 3
+// needs the original two dependent adds, since (t+w)-w is not t in floats.
+var tieTab = [4]float64{0, 1, -1, 0}
+
+// buildIncidence fills sc.inc with h's vertex → net index, ascending net
+// order per vertex (identical to what incidence() returns, minus the
+// per-vertex allocations), and slabs h's pin lists into sc.pins so the
+// move loop walks one contiguous array instead of chasing per-net slice
+// headers.
+func (sc *fmScratch) buildIncidence(h *Hypergraph) {
+	n := h.NumV
+	sc.inc.off = grown(sc.inc.off, n+1)
+	off := sc.inc.off
+	clear(off)
+	for _, net := range h.Nets {
+		for _, v := range net {
+			off[v+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	sc.inc.dat = grown(sc.inc.dat, int(off[n]))
+	sc.incCur = grown(sc.incCur, n)
+	cur := sc.incCur
+	copy(cur, off[:n])
+	for i, net := range h.Nets {
+		for _, v := range net {
+			sc.inc.dat[cur[v]] = int32(i)
+			cur[v]++
+		}
+	}
+
+	nn := len(h.Nets)
+	sc.pins.off = grown(sc.pins.off, nn+1)
+	po := sc.pins.off
+	po[0] = 0
+	for i, net := range h.Nets {
+		po[i+1] = po[i] + int32(len(net))
+	}
+	sc.pins.dat = grown(sc.pins.dat, int(po[nn]))
+	for i, net := range h.Nets {
+		copy(sc.pins.dat[po[i]:po[i+1]], net)
+	}
+}
+
 // refine runs FM passes on part in place until a pass yields no
 // improvement or MaxPasses is hit.
-func refine(h *Hypergraph, part []int8, opt Options) {
-	inc := incidence(h)
+func refine(h *Hypergraph, part []int8, opt Options, sc *fmScratch) {
+	sc.buildIncidence(h)
 	totalArea := 0.0
 	for _, a := range h.Area {
 		totalArea += a
@@ -589,47 +936,137 @@ func refine(h *Hypergraph, part []int8, opt Options) {
 	hi := target + totalArea*opt.Tolerance
 
 	for pass := 0; pass < opt.MaxPasses; pass++ {
-		if !fmPass(h, part, inc, lo, hi, opt.LookAhead) {
+		if !fmPass(h, part, lo, hi, opt.LookAhead, sc) {
 			break
 		}
 	}
 }
 
-// fmPass performs one Fiduccia–Mattheyses pass; reports improvement.
-func fmPass(h *Hypergraph, part []int8, inc [][]int32, lo, hi float64, lookAhead bool) bool {
+// fmPass performs one Fiduccia–Mattheyses pass over sc.inc (call
+// sc.buildIncidence first); reports improvement. Its observable behavior —
+// the accepted move sequence in sc.seq, the final part, and the return
+// value — is bit-identical to the legacy global-heap engine, kept test-only
+// as fmPassReference and pinned by FuzzFMPassEquivalence. The argument, in
+// brief (DESIGN §5.12 has the full version):
+//
+//   - The lazy heap's semantics reduce to "pop the maximum (gain, tie,
+//     -vertex) key among queued entries; discard stale ones", where a
+//     vertex's live key is the one from its latest push. bucketQueue's
+//     quantizer is monotone and within-bucket order is the exact key
+//     order, so its pop sequence is the same sequence.
+//   - Pushes are deduplicated per move: no pop happens between a move's
+//     gain updates, so of a neighbor's several updates only the last
+//     (gain, tie) snapshot is observable. The tie is still evaluated
+//     eagerly at every update into lastTie — the legacy key carries the
+//     tie as of the vertex's last update, and later nets of the same move
+//     can flip tie codes without touching the vertex's gain again.
+//   - Compaction removes only stale entries, which no pop sequence can
+//     observe, at a deterministic (size-based) trigger.
+func fmPass(h *Hypergraph, part []int8, lo, hi float64, lookAhead bool, sc *fmScratch) bool {
 	n := h.NumV
-	// Side counts per net.
-	cnt := make([][2]int32, len(h.Nets))
+	nn := len(h.Nets)
+	inc := &sc.inc
+
+	// Packed per-net state: weight, cleared side counts and tie code in
+	// one record (h.netWeight's nil-Weight convention is baked in here).
+	sc.nets = grown(sc.nets, nn)
+	nets := sc.nets
+	if h.Weight != nil {
+		for i, w := range h.Weight {
+			nets[i] = fmNet{w: w}
+		}
+	} else {
+		for i := range nets {
+			nets[i] = fmNet{w: 1}
+		}
+	}
 	for i, net := range h.Nets {
+		c := &nets[i].cnt
 		for _, v := range net {
-			cnt[i][part[v]]++
-		}
-	}
-	gain := make([]float64, n)
-	for v := 0; v < n; v++ {
-		if h.Fixed[v] != -1 {
-			continue
-		}
-		s := part[v]
-		for _, ni := range inc[v] {
-			w := h.netWeight(int(ni))
-			if cnt[ni][s] == 1 {
-				gain[v] += w
-			}
-			if cnt[ni][1-s] == 0 {
-				gain[v] -= w
-			}
-		}
-	}
-	area0 := 0.0
-	for v := 0; v < n; v++ {
-		if part[v] == 0 {
-			area0 += h.Area[v]
+			c[part[v]]++
 		}
 	}
 
-	stamp := make([]uint32, n)
-	hp := make(gainHeap, 0, n)
+	// Packed per-vertex state. gain and lastTie would not strictly need
+	// the clearing (both are written before they are read), but zeroing
+	// whole records is one memclr.
+	sc.verts = grown(sc.verts, n)
+	verts := sc.verts
+	clear(verts)
+	// blocked = locked ∪ fixed: one bitset probe replaces the separate
+	// locked and Fixed loads on the per-pin hot path. The mover itself is
+	// locked before its nets are walked, which also subsumes the u != v
+	// skip the update loops used to carry.
+	sc.locked = grown(sc.locked, (n+63)/64)
+	blocked := sc.locked
+	clear(blocked)
+	sc.touched = sc.touched[:0]
+	sc.seq = sc.seq[:0]
+
+	// Initial gains, side-0 area, and the gain span for the quantizer: a
+	// vertex's gain is always a subset-sum of +-w over its incident nets,
+	// so +-(max weighted degree) bounds every gain this pass can see.
+	area0 := 0.0
+	maxSpan := 0.0
+	for v := int32(0); v < int32(n); v++ {
+		if part[v] == 0 {
+			area0 += h.Area[v]
+		}
+		if h.Fixed[v] != -1 {
+			bitSet(blocked, v)
+			continue
+		}
+		s := part[v]
+		g := 0.0
+		sw := 0.0
+		for _, ni := range inc.row(v) {
+			nt := &nets[ni]
+			w := nt.w
+			if nt.cnt[s] == 1 {
+				g += w
+			}
+			if nt.cnt[1-s] == 0 {
+				g -= w
+			}
+			sw += math.Abs(w)
+		}
+		verts[v].gain = g
+		if sw > maxSpan {
+			maxSpan = sw
+		}
+	}
+
+	// Quantizer setup: uniform weights put gains on an exact w0 lattice
+	// (one gain level per bucket); otherwise split the span evenly across
+	// at most fmMaxBuckets big buckets.
+	uniform := true
+	w0 := 1.0
+	if h.Weight != nil && nn > 0 {
+		w0 = h.Weight[0]
+		for _, w := range h.Weight {
+			if w != w0 {
+				uniform = false
+				break
+			}
+		}
+	}
+	nb := 1
+	step := 0.0
+	if maxSpan > 0 {
+		span := 2 * maxSpan
+		if uniform && w0 > 0 && span/w0 < float64(fmMaxBuckets-1) {
+			step = w0
+			nb = int(span/w0+0.5) + 1
+		} else {
+			nb = 2*n + 1
+			if nb > fmMaxBuckets {
+				nb = fmMaxBuckets
+			}
+			step = span / float64(nb-1)
+		}
+	}
+	sc.bq.reset(nb, -maxSpan, step)
+
 	// The look-ahead tie (lookAheadGain) depends on a vertex only through
 	// its side, so each net contributes one of four per-side verdicts:
 	// add w, subtract w, both, or nothing. Those verdicts are precomputed
@@ -638,89 +1075,132 @@ func fmPass(h *Hypergraph, part []int8, inc [][]int32, lo, hi float64, lookAhead
 	// 100k+ vertices — into a byte test per incident net. The summation
 	// below replays the original's adds in the original order, so every
 	// tie value is bit-identical to a fresh lookAheadGain call.
+	//
+	// A net's codes are non-zero only while a side count sits in the
+	// critical band {1, 2} — only nets at or next to the cut. inBand gates
+	// setCode on the band so moves over internal nets (both sides >= 3
+	// pins) skip the refresh entirely: codes were zero and stay zero.
+	// Activation when a net enters the band is O(1), one setCode call.
 	const (
 		tiePlus  uint8 = 1 // net would become uncuttable in one more move
 		tieMinus uint8 = 2 // net's lone far-side pin gets stranded deeper
 	)
-	var tieCode []uint8
+	inBand := func(a, b int32) bool {
+		return (a >= 1 && a <= 2) || (b >= 1 && b <= 2)
+	}
 	setCode := func(ni int32) {
-		c := &cnt[ni]
+		nt := &nets[ni]
+		var code uint8
 		for s := 0; s < 2; s++ {
 			var b uint8
-			if c[s] == 2 && c[1-s] > 0 {
+			if nt.cnt[s] == 2 && nt.cnt[1-s] > 0 {
 				b = tiePlus
 			}
-			if c[1-s] == 1 {
+			if nt.cnt[1-s] == 1 {
 				b |= tieMinus
 			}
-			tieCode[2*int(ni)+s] = b
+			code |= b << (2 * uint(s))
 		}
+		nt.code = code
 	}
 	if lookAhead {
-		tieCode = make([]uint8, 2*len(h.Nets))
-		for ni := range h.Nets {
-			setCode(int32(ni))
+		// Codes start zero from the fmNet reset above; only in-band nets
+		// get a build (a disabled caller pays nothing at all).
+		for ni := int32(0); ni < int32(nn); ni++ {
+			if inBand(nets[ni].cnt[0], nets[ni].cnt[1]) {
+				setCode(ni)
+			}
 		}
 	}
 	tieOf := func(v int32) float64 {
-		if !lookAhead {
-			return 0
-		}
 		var t float64
-		s := int(part[v])
-		for _, ni := range inc[v] {
-			b := tieCode[2*int(ni)+s]
-			if b == 0 {
+		sh := uint(part[v]) * 2
+		for _, ni := range inc.row(v) {
+			nt := &nets[ni]
+			b := (nt.code >> sh) & 3
+			if b == 3 {
+				// Both verdicts: the legacy pair of dependent adds is not
+				// foldable — (t+w)-w need not equal t in floats.
+				t += nt.w
+				t -= nt.w
 				continue
 			}
-			w := h.netWeight(int(ni))
-			if b&tiePlus != 0 {
-				t += w
-			}
-			if b&tieMinus != 0 {
-				t -= w
-			}
-		}
-		if tieCheck {
-			if ref := lookAheadGain(h, inc, cnt, part, v); ref != t {
-				panic(fmt.Sprintf("tieCode memo diverged from lookAheadGain: v=%d memo=%v ref=%v", v, t, ref))
-			}
+			t += nt.w * tieTab[b]
 		}
 		return t
 	}
-	pushV := func(v int32) {
-		stamp[v]++
-		hp = append(hp, gainEntry{gain: gain[v], tie: tieOf(v), v: v, stamp: stamp[v]})
-	}
-	for v := 0; v < n; v++ {
-		if h.Fixed[v] == -1 {
-			pushV(int32(v))
+	// evalTie is the tie evaluator the pass actually calls: the bare memo
+	// walk on the production path, a constant zero when look-ahead is off
+	// (tieCode is not even built then), and a differential-checked variant
+	// only under the tieCheck test hook — the hook's global load used to
+	// sit inside the hot closure.
+	evalTie := tieOf
+	if !lookAhead {
+		evalTie = zeroTie
+	} else if tieCheck {
+		evalTie = func(v int32) float64 {
+			t := tieOf(v)
+			if ref := lookAheadGain(inc, nets, part, v); ref != t {
+				panic(fmt.Sprintf("tieCode memo diverged from lookAheadGain: v=%d memo=%v ref=%v", v, t, ref))
+			}
+			return t
 		}
 	}
-	hp.init()
 
-	locked := make([]bool, n)
-	type mv struct {
-		v    int32
-		gain float64
+	for v := int32(0); v < int32(n); v++ {
+		if !bitGet(blocked, v) {
+			sc.stats.Pushes++
+			vt := &verts[v]
+			vt.stamp++
+			vt.flags |= fmLive
+			sc.bq.live++
+			sc.bq.push(gainEntry{gain: vt.gain, tie: evalTie(v), v: v, stamp: vt.stamp})
+		}
 	}
-	var seq []mv
+
+	// noteUpdate defers the tie: it only marks the vertex tie-dirty
+	// (tieEp). The memo walk runs at most once per vertex per move, at the
+	// next point its value is observable — either a clean sweep right
+	// before an incident net's codes change, or the move's flush. Both
+	// points see exactly the code state the legacy engine's eager
+	// evaluation saw (no incident net's codes may change in between: every
+	// setCode is preceded by a clean sweep over that net's pins), so the
+	// stored values are bit-identical with strictly fewer evaluations.
+	var moveEp uint32
+	noteUpdate := func(u int32, d float64) {
+		sc.stats.GainUpdates++
+		vt := &verts[u]
+		vt.gain += d
+		vt.tieEp = moveEp
+		if vt.touchEp != moveEp {
+			vt.touchEp = moveEp
+			sc.touched = append(sc.touched, u)
+		}
+	}
+
 	cum, bestCum, bestIdx := 0.0, 0.0, -1
-
-	updateGain := func(v int32, d float64) {
-		gain[v] += d
-		if !locked[v] && h.Fixed[v] == -1 {
-			stamp[v]++
-			hp.push(gainEntry{gain: gain[v], tie: tieOf(v), v: v, stamp: stamp[v]})
+	for {
+		// Compact once stale entries dominate; the trigger depends only on
+		// queue counters, so it is deterministic.
+		if sc.bq.size > 64 && sc.bq.size > 3*sc.bq.live {
+			sc.bq.compact(func(e gainEntry) bool {
+				vt := &verts[e.v]
+				return vt.flags&fmLive != 0 && e.stamp == vt.stamp
+			})
+			sc.stats.Compactions++
 		}
-	}
-
-	for len(hp) > 0 {
-		ent := hp.pop()
+		ent, ok := sc.bq.pop()
+		if !ok {
+			break
+		}
+		sc.stats.Pops++
 		v := ent.v
-		if locked[v] || ent.stamp != stamp[v] {
+		if bitGet(blocked, v) || ent.stamp != verts[v].stamp {
+			sc.stats.StalePops++
 			continue
 		}
+		verts[v].flags &^= fmLive
+		sc.bq.live--
 		// Balance check for moving v to the other side.
 		var na0 float64
 		if part[v] == 0 {
@@ -734,57 +1214,93 @@ func fmPass(h *Hypergraph, part []int8, inc [][]int32, lo, hi float64, lookAhead
 		}
 		from := part[v]
 		to := 1 - from
+		moveEp++
+		bitSet(blocked, v) // locking v first lets the pin loops drop u != v
 
 		// FM gain-update rules, before and after the move.
-		for _, ni := range inc[v] {
-			w := h.netWeight(int(ni))
-			net := h.Nets[ni]
-			if cnt[ni][to] == 0 {
+		for _, ni := range inc.row(v) {
+			nt := &nets[ni]
+			w := nt.w
+			net := sc.pins.row(ni)
+			cf, ct := nt.cnt[from], nt.cnt[to]
+			if ct == 0 {
 				for _, u := range net {
-					if u != v && !locked[u] && h.Fixed[u] == -1 {
-						updateGain(u, w)
+					if !bitGet(blocked, u) {
+						noteUpdate(u, w)
 					}
 				}
-			} else if cnt[ni][to] == 1 {
+			} else if ct == 1 {
 				for _, u := range net {
-					if u != v && part[u] == to && !locked[u] && h.Fixed[u] == -1 {
-						updateGain(u, -w)
+					if part[u] == to && !bitGet(blocked, u) {
+						noteUpdate(u, -w)
 					}
 				}
 			}
-			cnt[ni][from]--
-			cnt[ni][to]++
-			if lookAhead {
+			if lookAhead && (inBand(cf, ct) || inBand(cf-1, ct+1)) {
+				// This net's codes are about to change: settle every
+				// pending tie among its pins first, while counts and
+				// codes still agree (inBand is symmetric in its
+				// arguments, so the pre/post test needs no side mapping).
+				for _, u := range net {
+					if verts[u].tieEp == moveEp {
+						verts[u].lastTie = evalTie(u)
+						verts[u].tieEp = 0
+					}
+				}
+				nt.cnt[from] = cf - 1
+				nt.cnt[to] = ct + 1
 				setCode(ni)
+			} else {
+				nt.cnt[from] = cf - 1
+				nt.cnt[to] = ct + 1
 			}
-			if cnt[ni][from] == 0 {
+			if cf == 1 {
 				for _, u := range net {
-					if u != v && !locked[u] && h.Fixed[u] == -1 {
-						updateGain(u, -w)
+					if !bitGet(blocked, u) {
+						noteUpdate(u, -w)
 					}
 				}
-			} else if cnt[ni][from] == 1 {
+			} else if cf == 2 {
 				for _, u := range net {
-					if u != v && part[u] == from && !locked[u] && h.Fixed[u] == -1 {
-						updateGain(u, w)
+					if part[u] == from && !bitGet(blocked, u) {
+						noteUpdate(u, w)
 					}
 				}
 			}
 		}
 		part[v] = int8(to)
 		area0 = na0
-		locked[v] = true
+		// Deduplicated deferred pushes: one entry per neighbor this move
+		// touched, carrying its final gain and last-update tie — the only
+		// snapshot the legacy engine's pops could observe. A tie still
+		// pending here saw no further code changes on its nets since its
+		// last update, so evaluating it now yields the update-time value.
+		for _, u := range sc.touched {
+			sc.stats.Pushes++
+			vt := &verts[u]
+			vt.stamp++
+			if vt.tieEp == moveEp {
+				vt.lastTie = evalTie(u)
+				vt.tieEp = 0
+			}
+			if vt.flags&fmLive == 0 {
+				vt.flags |= fmLive
+				sc.bq.live++
+			}
+			sc.bq.push(gainEntry{gain: vt.gain, tie: vt.lastTie, v: u, stamp: vt.stamp})
+		}
+		sc.touched = sc.touched[:0]
 		cum += ent.gain
-		seq = append(seq, mv{v, ent.gain})
+		sc.seq = append(sc.seq, fmMove{v, ent.gain})
 		if cum > bestCum+1e-12 {
 			bestCum = cum
-			bestIdx = len(seq) - 1
+			bestIdx = len(sc.seq) - 1
 		}
 	}
 
 	// Roll back to the best prefix.
-	for i := len(seq) - 1; i > bestIdx; i-- {
-		v := seq[i].v
+	for i := len(sc.seq) - 1; i > bestIdx; i-- {
+		v := sc.seq[i].v
 		part[v] = 1 - part[v]
 	}
 	return bestIdx >= 0 && bestCum > 1e-12
@@ -796,19 +1312,19 @@ func fmPass(h *Hypergraph, part []int8, inc [][]int32, lo, hi float64, lookAhead
 // It is used purely as a tie-break among equal first-level gains.
 //
 // This is the reference form. fmPass evaluates the same sum through the
-// per-net tieCode memo (codes refreshed at every count change), which
-// replays these adds in this order and is therefore bit-identical;
-// TestTieCodeMatchesLookAhead pins the equivalence.
-func lookAheadGain(h *Hypergraph, inc [][]int32, cnt [][2]int32, part []int8, v int32) float64 {
+// per-net tieCode memo (codes refreshed at every critical-band count
+// change), which replays these adds in this order and is therefore
+// bit-identical; TestTieCodeMatchesLookAhead pins the equivalence.
+func lookAheadGain(inc *csr, nets []fmNet, part []int8, v int32) float64 {
 	var t float64
 	s := part[v]
-	for _, ni := range inc[v] {
-		w := h.netWeight(int(ni))
-		if cnt[ni][s] == 2 && cnt[ni][1-s] > 0 {
-			t += w // after moving v, one partner move uncuts the net
+	for _, ni := range inc.row(v) {
+		nt := &nets[ni]
+		if nt.cnt[s] == 2 && nt.cnt[1-s] > 0 {
+			t += nt.w // after moving v, one partner move uncuts the net
 		}
-		if cnt[ni][1-s] == 1 {
-			t -= w // moving v strands the lone far-side pin deeper
+		if nt.cnt[1-s] == 1 {
+			t -= nt.w // moving v strands the lone far-side pin deeper
 		}
 	}
 	return t

@@ -36,7 +36,20 @@ type Placer struct {
 	Workers int
 
 	initialized bool
+
+	// fmPool recycles the partitioner's per-pass FM scratch across the
+	// whole quadrisection tree: forked cells and successive refinement
+	// levels draw from one pool instead of re-allocating gain/tie/bucket
+	// arrays per pass. fmStats accumulates gain-structure traffic across
+	// every Bipartition the placer issues (atomic adds: cells fork).
+	fmPool  *partition.ScratchPool
+	fmStats partition.Stats
 }
+
+// FMStats returns the accumulated FM gain-structure counters of every
+// bisection this placer has run. The counts are deterministic functions
+// of the design and seed — identical at any Workers value.
+func (p *Placer) FMStats() partition.Stats { return p.fmStats.Snapshot() }
 
 func (p *Placer) workers() int {
 	if p.Workers < 1 {
@@ -47,7 +60,8 @@ func (p *Placer) workers() int {
 
 // New creates a placer. The image must be at level 0 (fresh).
 func New(nl *netlist.Netlist, im *image.Image, seed int64) *Placer {
-	return &Placer{NL: nl, Im: im, Seed: seed, MaxNetPins: 128, Tolerance: 0.12}
+	return &Placer{NL: nl, Im: im, Seed: seed, MaxNetPins: 128, Tolerance: 0.12,
+		fmPool: partition.NewScratchPool()}
 }
 
 // Status returns the placement progress number (0–100).
@@ -334,6 +348,8 @@ func (p *Placer) bisect(gates []*netlist.Gate, ax axis, cut float64, targetFrac,
 	opt.TargetFrac = targetFrac
 	opt.Tolerance = tol
 	opt.Workers = workers
+	opt.Stats = &p.fmStats
+	opt.Scratch = p.fmPool
 	res := partition.Bipartition(h, opt)
 	for i, g := range gates {
 		if res.Part[i] == 0 {

@@ -14,6 +14,21 @@ func forScenario(c *scenario.Context) *Placer {
 	})
 }
 
+// PublishFMStats copies p's accumulated FM gain-structure counters into
+// the context's analyzer-stats block. The scenario transform calls it
+// after every partition advance; hand-scheduled flows (the golden-test
+// references) must call it at the same points to stay stat-identical.
+func PublishFMStats(c *scenario.Context, p *Placer) {
+	st := p.FMStats()
+	c.FM = scenario.FMStats{
+		Pushes:      st.Pushes,
+		Pops:        st.Pops,
+		StalePops:   st.StalePops,
+		GainUpdates: st.GainUpdates,
+		Compactions: st.Compactions,
+	}
+}
+
 func init() {
 	scenario.Register(scenario.Transform{
 		Name: "partition", Doc: "refine the placement partition to the current status (reflow=0 to skip reflow)",
@@ -34,6 +49,7 @@ func init() {
 				p.Reflow()
 				stop()
 			}
+			PublishFMStats(c, p)
 			return scenario.Report{Changed: 1}, nil
 		},
 	})

@@ -94,6 +94,12 @@ type Context struct {
 	// "evaluate" step captures it; "route" and "remeasure" update it).
 	M *Metrics
 
+	// FM holds the placement partitioner's gain-structure counters, set by
+	// the placement transforms after each partition/reflow. The counters
+	// are deterministic and worker-invariant, so they participate in the
+	// AnalyzerStats bit-identity contract.
+	FM FMStats
+
 	// Accepts and Rejects count protected-step outcomes for the run.
 	Accepts, Rejects int
 
@@ -216,6 +222,21 @@ type AnalyzerStats struct {
 	CongestionIncrementalPasses int
 	// TimingRecomputes counts incremental timing node recomputations.
 	TimingRecomputes int
+	// FM carries the placement partitioner's gain-structure traffic (PR
+	// 9's bucketed FM engine): pushes/pops through the bucket queue, stale
+	// pops discarded, neighbor gain updates, and live-entry compactions.
+	FM FMStats
+}
+
+// FMStats mirrors partition.Stats without importing it (scenario stays
+// free of transform-package dependencies). All counters are deterministic
+// functions of the design and flow, identical at any worker count.
+type FMStats struct {
+	Pushes      uint64
+	Pops        uint64
+	StalePops   uint64
+	GainUpdates uint64
+	Compactions uint64
 }
 
 // AnalyzerStats returns the current incremental-analyzer counters.
@@ -227,6 +248,7 @@ func (c *Context) AnalyzerStats() AnalyzerStats {
 		CongestionFullPasses:        c.Cong.FullPasses,
 		CongestionIncrementalPasses: c.Cong.IncrementalPasses,
 		TimingRecomputes:            c.Eng.Recomputes,
+		FM:                          c.FM,
 	}
 }
 

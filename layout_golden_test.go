@@ -5,11 +5,17 @@ import (
 )
 
 // TestMetricsBitIdenticalAfterLayoutRefactor locks the full TPS and SPR
-// flows to goldens captured before the ID-indexed netlist refactor (slab
-// hot state, arena pins, CSR membership, incremental timing levelization,
-// observer-maintained relocation index). Every metric — including the
-// analyzer effort counters — must stay bit-identical at every worker
-// count: the refactor work is layout and scheduling, never arithmetic.
+// flows to goldens. The originals were captured before the ID-indexed
+// netlist refactor (slab hot state, arena pins, CSR membership,
+// incremental timing levelization, observer-maintained relocation index)
+// and survived it untouched: that refactor was layout and scheduling,
+// never arithmetic. The TPS golden was recaptured once, when the FM
+// engine's restart/matching RNG moved from math/rand's Go1 source to
+// math/rand/v2's PCG — an intentional stream change that yields different
+// (equally valid) cuts; the SPR golden, whose flow never enters the FM
+// partitioner, did not move, which is itself part of the check. Every
+// metric — including the analyzer effort counters — must stay
+// bit-identical at every worker count.
 func TestMetricsBitIdenticalAfterLayoutRefactor(t *testing.T) {
 	type golden struct {
 		icells                   int
@@ -24,19 +30,19 @@ func TestMetricsBitIdenticalAfterLayoutRefactor(t *testing.T) {
 	}
 	goldens := map[string]golden{
 		"TPS": {
-			icells: 911,
-			area:   44971.200000000063,
-			slack:  -177.12707310560052,
-			tns:    -16373.726021330876,
-			cycle:  1151.5910731056003,
-			hPeak:  250, hAvg: 131.93333333333334,
-			vPeak: 397, vAvg: 286.13333333333333,
-			wire:            103294.10052020714,
-			routed:          158538.64683647835,
-			overflows:       287,
-			steinerRebuilds: 52244,
+			icells: 913,
+			area:   45052.80000000011,
+			slack:  -168.80150082364628,
+			tns:    -12967.591165886173,
+			cycle:  1143.265500823646,
+			hPeak:  224, hAvg: 123.33333333333333,
+			vPeak: 422, vAvg: 293.73333333333335,
+			wire:            103136.03547139814,
+			routed:          158676.6821508809,
+			overflows:       282,
+			steinerRebuilds: 43608,
 			congFull:        17, congIncr: 4,
-			timingRecomputes: 8976217,
+			timingRecomputes: 10605986,
 		},
 		"SPR": {
 			icells: 948,

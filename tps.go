@@ -58,7 +58,8 @@ type Histogram = route.Histogram
 // CongestionReport is the cut-line congestion summary.
 type CongestionReport = congestion.Report
 
-// AnalyzerStats carries the incremental analyzers' dirty-set counters.
+// AnalyzerStats carries the incremental analyzers' dirty-set counters and
+// the FM partitioner's gain-structure traffic.
 type AnalyzerStats = core.AnalyzerStats
 
 // Library is the standard-cell library type.
@@ -268,7 +269,8 @@ func (d *Design) WireLength() float64 { return d.ctx.St.Total() }
 // re-rasterized, and the report is bit-identical to a full pass.
 func (d *Design) Congestion() CongestionReport { return d.ctx.Cong.Analyze() }
 
-// Stats returns the incremental analyzers' dirty-set and pass counters.
+// Stats returns the incremental analyzers' dirty-set and pass counters
+// plus the placement partitioner's FM gain-structure counters.
 func (d *Design) Stats() AnalyzerStats { return d.ctx.AnalyzerStats() }
 
 // PhaseTimes returns the per-transform wall clock accumulated by the last
