@@ -591,6 +591,58 @@ func BenchmarkPortfolioRace(b *testing.B) {
 	}
 }
 
+// ---- PR 10: autoflow scenario search ----
+
+// BenchmarkAutoflowSearch measures the scenario-space search: a µ+λ
+// evolutionary loop over the TPS flow on a small design, racing every
+// generation's variants from one shared snapshot, at widths 1, 2, and
+// 4. CI publishes these rows as BENCH_autoflow.json. The winning
+// script, its objective, and the evaluation count are bit-identical at
+// every width (the autoflow determinism contract), enforced across
+// sub-benchmarks.
+func BenchmarkAutoflowSearch(b *testing.B) {
+	opt := DefaultTPSOptions()
+	opt.SkipRouting = true
+	opt.TransformBudget = 16
+	script := TPSScript(opt)
+	var baseWinner, baseScript string
+	var baseObj float64
+	var baseEvals int
+	for wi, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var res *AutotuneResult
+			for i := 0; i < b.N; i++ {
+				d := NewDesign(DesignParams{Name: "autoflow", NumGates: 400, Levels: 8, Seed: 3})
+				var err error
+				res, err = d.Autotune(context.Background(), AutotuneSpec{
+					Name:        "bench",
+					Script:      script,
+					Population:  2,
+					Offspring:   4,
+					Generations: 2,
+					Seed:        7,
+					Workers:     w,
+				})
+				d.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if wi == 0 {
+				baseWinner, baseScript = res.BestName, res.BestScript
+				baseObj, baseEvals = res.BestObjective, res.Evaluated
+			} else if res.BestName != baseWinner || res.BestScript != baseScript ||
+				res.BestObjective != baseObj || res.Evaluated != baseEvals {
+				b.Fatalf("workers=%d winner %s obj=%g evals=%d diverged from serial %s obj=%g evals=%d",
+					w, res.BestName, res.BestObjective, res.Evaluated, baseWinner, baseObj, baseEvals)
+			}
+			b.ReportMetric(res.BestObjective, "winner-obj-ps")
+			b.ReportMetric(res.BaseObjective, "baseline-obj-ps")
+			b.ReportMetric(float64(res.Evaluated), "variants-evaluated")
+		})
+	}
+}
+
 // ---- PR 8: netlist scale ----
 
 // BenchmarkNetlistScale measures the ID-indexed netlist layout at bulk

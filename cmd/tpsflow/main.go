@@ -11,8 +11,10 @@
 //	tpsflow -flow tps -des 3 -scale 1.0 -workers 8 -cpuprofile cpu.pprof
 //	tpsflow -scenario custom.tps -gates 2000 -trace run.jsonl
 //	tpsflow -portfolio examples/portfolio/quad.race -gates 2000 -out best.tpn
+//	tpsflow -autotune examples/autoflow/quick.at -gates 2000 -out tuned.tpn
 //	tpsflow -submit http://localhost:8077 -scenario custom.tps -gates 2000
 //	tpsflow -submit http://localhost:8077 -portfolio examples/portfolio/quad.race
+//	tpsflow -submit http://localhost:8077 -autotune examples/autoflow/quick.at
 //	tpsflow -list-transforms
 package main
 
@@ -53,6 +55,7 @@ func run() error {
 	memprofile := flag.String("memprofile", "", "write a heap profile (post-flow) to this file")
 	scenarioFile := flag.String("scenario", "", "run this scenario script instead of the built-in flows")
 	portfolioFile := flag.String("portfolio", "", "race a portfolio of scenario entrants from this spec file (see examples/portfolio)")
+	autotuneFile := flag.String("autotune", "", "search the scenario space from this autotune spec file (see examples/autoflow)")
 	traceFile := flag.String("trace", "", "write the engine's structured trace as JSONL to this file")
 	listTransforms := flag.Bool("list-transforms", false, "list the registered transforms and exit")
 	submit := flag.String("submit", "", "submit to a tpsd server at this base URL instead of running locally")
@@ -66,6 +69,9 @@ func run() error {
 				kind = " [structural]"
 			}
 			fmt.Printf("%-18s %-14s %s%s\n", tr.Name, tr.Window, tr.Doc, kind)
+			for _, d := range tr.Params {
+				fmt.Printf("%-18s   tunable %s\n", "", d)
+			}
 		}
 		return nil
 	}
@@ -104,6 +110,25 @@ func run() error {
 			}, spec)
 		}
 		return runPortfolio(makeDesign, spec, *traceFile, *out, *verbose)
+	}
+
+	if *autotuneFile != "" {
+		spec, err := loadAutotuneSpec(*autotuneFile)
+		if err != nil {
+			return err
+		}
+		if *workers > 0 {
+			spec.Workers = *workers
+		}
+		if spec.Seed == 0 {
+			spec.Seed = *seed
+		}
+		if *submit != "" {
+			return runSubmitAutotune(submitOpts{
+				base: *submit, workers: *workers, makeDesign: makeDesign,
+			}, spec)
+		}
+		return runAutotune(makeDesign, spec, *traceFile, *out, *verbose)
 	}
 
 	if *submit != "" {

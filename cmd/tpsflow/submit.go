@@ -69,6 +69,38 @@ func runSubmitRace(o submitOpts, spec *tps.RaceSpec) error {
 	return submitAndStream(o.base, req)
 }
 
+// runSubmitAutotune ships an autoflow search to the server: the locally
+// resolved spec becomes the submission's Autotune block, and the
+// variant-tagged trace streams back to stdout.
+func runSubmitAutotune(o submitOpts, spec *tps.AutotuneSpec) error {
+	net, err := designText(o)
+	if err != nil {
+		return err
+	}
+	a := &serve.AutotuneRequest{
+		Scenario:    spec.Script,
+		Objective:   spec.Objective,
+		Population:  spec.Population,
+		Offspring:   spec.Offspring,
+		Generations: spec.Generations,
+		Stall:       spec.Stall,
+		Seed:        spec.Seed,
+		DeadlineSec: spec.Deadline.Seconds(),
+		Freeze:      spec.Freeze,
+		Insert:      spec.Insert,
+		Params:      spec.Params,
+	}
+	if spec.Weights != (tps.MutationWeights{}) {
+		w := spec.Weights
+		a.Weights = &w
+	}
+	return submitAndStream(o.base, serve.SubmitRequest{
+		Netlist:  net,
+		Workers:  o.workers,
+		Autotune: a,
+	})
+}
+
 // designText serializes the local design selection as .tpn.
 func designText(o submitOpts) (string, error) {
 	d, err := o.makeDesign()
@@ -139,6 +171,21 @@ func submitAndStream(baseURL string, req serve.SubmitRequest) error {
 	}
 	switch info.State {
 	case serve.JobDone:
+		if a := info.Autotune; a != nil {
+			// Deterministic winner line, mirroring the local -autotune
+			// output so the two modes can be diffed.
+			obj, base := 0.0, 0.0
+			if a.WinnerObjective != nil {
+				obj = *a.WinnerObjective
+			}
+			if a.BaseObjective != nil {
+				base = *a.BaseObjective
+			}
+			fmt.Printf("AUTOTUNE winner=%s obj=%g baseline=%g gens=%d evaluated=%d\n",
+				a.Winner, obj, base, a.Generations, a.Evaluated)
+			fmt.Print(a.WinnerScript)
+			return nil
+		}
 		if r := info.Race; r != nil {
 			for _, v := range r.Verdicts {
 				fmt.Fprintf(os.Stderr, "tpsflow:   %-12s seed=%-4d %-10s obj=%g\n",

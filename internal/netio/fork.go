@@ -3,6 +3,7 @@ package netio
 import (
 	"bytes"
 	"strings"
+	"sync/atomic"
 
 	"tps/internal/cell"
 	"tps/internal/gen"
@@ -21,8 +22,10 @@ import (
 // Forker is safe for concurrent use: the snapshot text is immutable
 // after construction and each Fork parses a private copy.
 type Forker struct {
-	text string
-	lib  *cell.Library
+	text   string
+	lib    *cell.Library
+	period float64
+	forks  atomic.Int64
 }
 
 // NewForker captures d's current state. The design is read, not
@@ -32,13 +35,23 @@ func NewForker(d *gen.Design) (*Forker, error) {
 	if err := Write(&buf, d); err != nil {
 		return nil, err
 	}
-	return &Forker{text: buf.String(), lib: d.NL.Lib}, nil
+	return &Forker{text: buf.String(), lib: d.NL.Lib, period: d.Period}, nil
 }
 
 // Fork parses a fresh, fully independent copy of the captured design.
 func (f *Forker) Fork() (*gen.Design, error) {
+	f.forks.Add(1)
 	return Read(strings.NewReader(f.text), f.lib)
 }
+
+// Forks returns the number of Fork calls so far. Autoflow's
+// snapshot-reuse test asserts this equals the variants actually
+// evaluated.
+func (f *Forker) Forks() int { return int(f.forks.Load()) }
+
+// Period returns the captured design's clock period — the static upper
+// bound a race needs without re-forking just to read it.
+func (f *Forker) Period() float64 { return f.period }
 
 // Text returns the captured .tpn snapshot.
 func (f *Forker) Text() string { return f.text }

@@ -33,6 +33,9 @@ func init() {
 	scenario.Register(scenario.Transform{
 		Name: "partition", Doc: "refine the placement partition to the current status (reflow=0 to skip reflow)",
 		Window: "every step", Structural: true,
+		Params: []scenario.ParamDomain{
+			{Key: "reflow", Kind: scenario.ParamEnum, Enum: []string{"0", "1"}},
+		},
 		Guard: func(c *scenario.Context) bool {
 			// The bin grid refines only when the advancing status target
 			// passes the next level threshold; between thresholds the loop

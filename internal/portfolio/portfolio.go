@@ -149,6 +149,12 @@ type Result struct {
 	WinnerDesign string
 	// Verdicts has one entry per entrant, in entrant order.
 	Verdicts []Verdict
+	// Designs holds each finished entrant's final design text, indexed
+	// like Verdicts (empty for entrants that did not finish).
+	// WinnerDesign == Designs[Winner]. Autoflow selects its own survivor
+	// by (objective, creation order), which is not always the race's
+	// lowest-index tie-break, so it needs the non-winning designs too.
+	Designs []string
 }
 
 // ErrNoWinner reports a race in which no entrant finished.
@@ -168,6 +174,18 @@ const MaxEntrants = 64
 // Result alongside ctx's error. If all entrants fail, deadline out, or
 // are canceled, the error wraps ErrNoWinner.
 func Race(ctx context.Context, base *gen.Design, spec Spec) (*Result, error) {
+	forker, err := netio.NewForker(base)
+	if err != nil {
+		return nil, fmt.Errorf("portfolio: snapshot: %w", err)
+	}
+	return RaceForker(ctx, forker, spec)
+}
+
+// RaceForker races from an existing snapshot instead of capturing one.
+// This is the entry autoflow uses: the whole evolutionary search runs
+// every generation's entrants from ONE shared Forker, so the base design
+// is serialized exactly once no matter how many variants are evaluated.
+func RaceForker(ctx context.Context, forker *netio.Forker, spec Spec) (*Result, error) {
 	n := len(spec.Entrants)
 	if n == 0 {
 		return nil, errors.New("portfolio: race needs at least one entrant")
@@ -202,10 +220,6 @@ func Race(ctx context.Context, base *gen.Design, spec Spec) (*Result, error) {
 			return nil, fmt.Errorf("portfolio: entrant %q: %w", name, err)
 		}
 	}
-	forker, err := netio.NewForker(base)
-	if err != nil {
-		return nil, fmt.Errorf("portfolio: snapshot: %w", err)
-	}
 
 	raceCtx := ctx
 	if spec.Deadline > 0 {
@@ -224,7 +238,7 @@ func Race(ctx context.Context, base *gen.Design, spec Spec) (*Result, error) {
 	r := &race{
 		spec:     &spec,
 		obj:      obj,
-		period:   base.Period,
+		period:   forker.Period(),
 		forker:   forker,
 		parent:   ctx,
 		ctx:      raceCtx,
@@ -236,7 +250,7 @@ func Race(ctx context.Context, base *gen.Design, spec Spec) (*Result, error) {
 	}
 	par.ForEach(width, n, r.run)
 
-	res := &Result{Name: spec.Name, Objective: obj, Winner: -1, Verdicts: r.verdicts}
+	res := &Result{Name: spec.Name, Objective: obj, Winner: -1, Verdicts: r.verdicts, Designs: r.designs}
 	for i := range res.Verdicts {
 		v := &res.Verdicts[i]
 		if v.Status != StatusFinished {

@@ -1,0 +1,35 @@
+package scenario
+
+// Clone returns a deep copy of the script: params, blocks, steps, and
+// step args are all private to the copy, so a mutator can edit one
+// variant without disturbing its parent. Per-run interpreter state (the
+// once-latch) is reset; source line numbers are preserved for error
+// messages.
+func (s *Script) Clone() *Script {
+	out := &Script{Name: s.Name, Params: cloneMap(s.Params)}
+	out.Blocks = make([]Block, len(s.Blocks))
+	for i, b := range s.Blocks {
+		nb := b
+		nb.Steps = make([]*Step, len(b.Steps))
+		for j, st := range b.Steps {
+			nb.Steps[j] = st.clone()
+		}
+		out.Blocks[i] = nb
+	}
+	return out
+}
+
+func (st *Step) clone() *Step {
+	ns := *st
+	ns.Args = cloneMap(st.Args)
+	ns.done = false
+	return &ns
+}
+
+func cloneMap(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

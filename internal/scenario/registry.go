@@ -1,8 +1,11 @@
 package scenario
 
 import (
+	"encoding/json"
+	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -37,6 +40,107 @@ type Transform struct {
 	// Run executes the transform. Args carries the step's key=value
 	// parameters.
 	Run func(*Context, Args) (Report, error)
+	// Params declares the transform's tunable step arguments and their
+	// legal domains. Purely advisory for hand-written scripts; the
+	// autoflow mutator draws parameter values only from declared domains,
+	// so an undeclared argument is never mutated.
+	Params []ParamDomain
+}
+
+// ParamKind tags a declared parameter domain's value type.
+type ParamKind int
+
+const (
+	// ParamInt is an integer range [Lo, Hi], inclusive.
+	ParamInt ParamKind = iota
+	// ParamFloat is a real range [Lo, Hi], inclusive.
+	ParamFloat
+	// ParamEnum is a closed set of string values.
+	ParamEnum
+)
+
+// String returns the grammar keyword for the kind ("int"/"float"/"enum").
+func (k ParamKind) String() string {
+	switch k {
+	case ParamInt:
+		return "int"
+	case ParamFloat:
+		return "float"
+	case ParamEnum:
+		return "enum"
+	}
+	return "?"
+}
+
+// MarshalJSON emits the keyword form, matching the spec grammar.
+func (k ParamKind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the keyword form.
+func (k *ParamKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "int":
+		*k = ParamInt
+	case "float":
+		*k = ParamFloat
+	case "enum":
+		*k = ParamEnum
+	default:
+		return fmt.Errorf("scenario: unknown param kind %q", s)
+	}
+	return nil
+}
+
+// ParamDomain declares one tunable parameter: its key and the values it
+// may legally take. Transforms attach domains to step arguments; an
+// autotune spec attaches them to scenario-level `set` parameters.
+type ParamDomain struct {
+	Key  string    `json:"key"`
+	Kind ParamKind `json:"kind"`
+	// Lo/Hi bound int and float domains (inclusive both ends).
+	Lo float64 `json:"lo,omitempty"`
+	Hi float64 `json:"hi,omitempty"`
+	// Enum lists the legal values of an enum domain.
+	Enum []string `json:"enum,omitempty"`
+}
+
+// Valid reports whether the domain is well-formed: a non-empty key, an
+// ordered Lo ≤ Hi range for int/float kinds, a non-empty value set for
+// enums. Register fails fast on invalid declarations; autoflow validates
+// spec-supplied domains with it too.
+func (d ParamDomain) Valid() bool {
+	if d.Key == "" {
+		return false
+	}
+	switch d.Kind {
+	case ParamInt, ParamFloat:
+		return d.Lo <= d.Hi && len(d.Enum) == 0
+	case ParamEnum:
+		return len(d.Enum) > 0
+	}
+	return false
+}
+
+// String renders the domain the way -list-transforms prints it:
+// "gain=int 2..8", "cut=float 0.3..0.7", "reflow=enum{on,off}".
+func (d ParamDomain) String() string {
+	switch d.Kind {
+	case ParamInt:
+		return fmt.Sprintf("%s=int %d..%d", d.Key, int(d.Lo), int(d.Hi))
+	case ParamFloat:
+		return fmt.Sprintf("%s=float %s..%s",
+			d.Key,
+			strconv.FormatFloat(d.Lo, 'g', -1, 64),
+			strconv.FormatFloat(d.Hi, 'g', -1, 64))
+	case ParamEnum:
+		return d.Key + "=enum{" + strings.Join(d.Enum, ",") + "}"
+	}
+	return d.Key + "=?"
 }
 
 var (
@@ -55,6 +159,13 @@ func Register(t Transform) {
 	defer regMu.Unlock()
 	if _, dup := registry[t.Name]; dup {
 		panic("scenario: duplicate transform " + t.Name)
+	}
+	seen := map[string]bool{}
+	for _, d := range t.Params {
+		if !d.Valid() || seen[d.Key] {
+			panic("scenario: transform " + t.Name + " declares bad param domain " + d.Key)
+		}
+		seen[d.Key] = true
 	}
 	tt := t
 	registry[t.Name] = &tt

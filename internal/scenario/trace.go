@@ -38,6 +38,18 @@ const (
 	// tagged flow per entrant, each closed by its own EvFlowEnd, then
 	// exactly one EvRaceVerdict.
 	EvRaceVerdict EventType = "race_verdict"
+	// EvGenSummary is one autoflow generation's summary record: Gen, the
+	// number of variants evaluated this generation (Changed), the
+	// generation-best variant (Winner) and its objective value. Emitted by
+	// the search loop, once per generation, between the generation's
+	// per-variant flows.
+	EvGenSummary EventType = "gen_summary"
+	// EvAutotuneVerdict is the terminal record of an autoflow search: the
+	// winning variant (Winner/Objective), the objective name (Detail),
+	// generations run (Gen), and total variants evaluated (Changed). A
+	// search stream carries one tagged flow per evaluated variant, one
+	// EvGenSummary per generation, then exactly one EvAutotuneVerdict.
+	EvAutotuneVerdict EventType = "autotune_verdict"
 )
 
 // Event is one structured trace record. Numeric fields are filled only
@@ -87,9 +99,12 @@ type Event struct {
 	// Empty on single-flow runs; the race tracer stamps it.
 	Entrant string `json:"entrant,omitempty"`
 	// Winner / Objective name the winning entrant and its objective value
-	// (race_verdict only).
+	// (race_verdict, gen_summary, autotune_verdict).
 	Winner    string   `json:"winner,omitempty"`
 	Objective *float64 `json:"objective,omitempty"`
+	// Gen is the autoflow generation index (gen_summary), or the number of
+	// generations run (autotune_verdict).
+	Gen int `json:"gen,omitempty"`
 }
 
 // Tracer consumes the engine's event stream. Emit is called from the

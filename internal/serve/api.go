@@ -3,6 +3,7 @@ package serve
 import (
 	"time"
 
+	"tps/internal/autoflow"
 	"tps/internal/scenario"
 )
 
@@ -46,6 +47,41 @@ type SubmitRequest struct {
 	Objective string `json:"objective,omitempty"`
 	// DeadlineSec caps the race's wall clock (0 = none).
 	DeadlineSec float64 `json:"deadline_sec,omitempty"`
+
+	// Autotune, when set, turns the job into an autoflow search over the
+	// scenario space (mutually exclusive with Entrants): the base script
+	// is mutated generation by generation, every generation races from
+	// one shared snapshot inside the job's worker grant, and the job's
+	// Metrics are the best variant's. The trace stream carries each
+	// evaluated variant's tagged flow, one gen_summary per generation,
+	// one autotune_verdict, then the job's terminal flow_end.
+	Autotune *AutotuneRequest `json:"autotune,omitempty"`
+}
+
+// AutotuneRequest configures an autoflow search job. Zero values take
+// the autoflow package defaults.
+type AutotuneRequest struct {
+	// Scenario is the base script to mutate (default: the request's
+	// Scenario field).
+	Scenario string `json:"scenario,omitempty"`
+	// Objective is the search objective: "slack" (default), "tns", "wire".
+	Objective string `json:"objective,omitempty"`
+	// Population (µ), Offspring (λ), Generations, and Stall shape the
+	// evolutionary loop; see autoflow.Spec.
+	Population  int `json:"population,omitempty"`
+	Offspring   int `json:"offspring,omitempty"`
+	Generations int `json:"generations,omitempty"`
+	Stall       int `json:"stall,omitempty"`
+	// Seed drives the whole search (default: the request's Seed).
+	Seed int64 `json:"seed,omitempty"`
+	// DeadlineSec caps each generation's race wall clock (0 = none).
+	DeadlineSec float64 `json:"deadline_sec,omitempty"`
+	// Freeze / Insert / Weights / Params tune the mutation space; see
+	// autoflow.Spec.
+	Freeze  []string                  `json:"freeze,omitempty"`
+	Insert  []string                  `json:"insert,omitempty"`
+	Weights *autoflow.MutationWeights `json:"weights,omitempty"`
+	Params  []scenario.ParamDomain    `json:"params,omitempty"`
 }
 
 // RaceEntrant is one competitor in a race submission.
@@ -94,6 +130,27 @@ type JobInfo struct {
 	// Race summarizes a portfolio-race job (nil for single-flow jobs;
 	// set once the race has ended).
 	Race *RaceInfo `json:"race,omitempty"`
+
+	// Autotune summarizes an autoflow-search job (nil otherwise; set
+	// once the search has ended).
+	Autotune *AutotuneInfo `json:"autotune,omitempty"`
+}
+
+// AutotuneInfo is an autotune job's outcome summary.
+type AutotuneInfo struct {
+	Objective string `json:"objective"`
+	// Winner / WinnerScript are the best variant's name and canonical
+	// script text; empty when no variant finished.
+	Winner       string `json:"winner,omitempty"`
+	WinnerScript string `json:"winner_script,omitempty"`
+	// WinnerObjective / BaseObjective compare the best variant against
+	// the unmutated base script (nil when the respective flow failed).
+	WinnerObjective *float64 `json:"winner_objective,omitempty"`
+	BaseObjective   *float64 `json:"base_objective,omitempty"`
+	// Generations / Evaluated / Restarts are search-loop totals.
+	Generations int `json:"generations"`
+	Evaluated   int `json:"evaluated"`
+	Restarts    int `json:"restarts,omitempty"`
 }
 
 // RaceInfo is a race job's outcome summary.

@@ -2,9 +2,11 @@ package serve
 
 import (
 	"context"
+	"math"
 	"sync"
 	"time"
 
+	"tps/internal/autoflow"
 	"tps/internal/gen"
 	"tps/internal/portfolio"
 	"tps/internal/scenario"
@@ -18,6 +20,7 @@ type Job struct {
 	DesignName string
 	script     *scenario.Script
 	race       *portfolio.Spec // race submission (script is then nil)
+	tune       *autoflow.Spec  // autotune submission (script is then nil)
 	gd         *gen.Design     // inline submission: private design
 	sd         *storedDesign   // stored-design submission
 	seed       int64
@@ -30,6 +33,7 @@ type Job struct {
 	err              string
 	metrics          *scenario.Metrics
 	raceInfo         *RaceInfo
+	tuneInfo         *AutotuneInfo
 	accepts, rejects int
 	granted          int
 	cancel           context.CancelFunc // set while running
@@ -47,6 +51,7 @@ func (j *Job) info() JobInfo {
 		ID: j.ID, Design: j.DesignName, State: j.state, Error: j.err,
 		Workers: j.granted, Accepts: j.accepts, Rejects: j.rejects,
 		QueuedAt: j.queuedAt, Metrics: j.metrics, Race: j.raceInfo,
+		Autotune: j.tuneInfo,
 	}
 	if !j.startedAt.IsZero() {
 		t := j.startedAt
@@ -111,6 +116,21 @@ func (s *Server) runJob(j *Job) {
 		defer release()
 	}
 
+	if j.tune != nil {
+		// An autotune job: the worker grant bounds how many variants race
+		// concurrently (each variant's flow runs its analyzers serially,
+		// exactly like race entrants), the hub receives every variant's
+		// tagged flow plus the search's gen_summary/autotune_verdict
+		// records, and the job is judged by the best variant.
+		spec := *j.tune
+		spec.Name = j.ID
+		spec.Workers = granted
+		spec.Trace = j.hub
+		res, err := autoflow.Search(ctx, gd, spec)
+		j.finishAutotune(res, err)
+		return
+	}
+
 	if j.race != nil {
 		// A race job: the worker grant becomes the race width (each
 		// entrant runs its analyzers serially), the hub receives the
@@ -173,6 +193,38 @@ func (j *Job) finishRace(res *portfolio.Result, err error) {
 	j.raceInfo = ri
 	j.mu.Unlock()
 	j.finish(m, accepts, rejects, err)
+}
+
+// finishAutotune summarizes a search result into the job's terminal
+// state: the best variant's metrics become the job's and the winning
+// script is published as AutotuneInfo. Objectives travel as pointers
+// because a failed base flow has none (and ±Inf does not survive JSON).
+func (j *Job) finishAutotune(res *autoflow.Result, err error) {
+	var m *scenario.Metrics
+	var ai *AutotuneInfo
+	if res != nil {
+		ai = &AutotuneInfo{
+			Objective:   res.Objective,
+			Generations: res.Generations,
+			Evaluated:   res.Evaluated,
+			Restarts:    res.Restarts,
+		}
+		if res.BestName != "" {
+			ai.Winner = res.BestName
+			ai.WinnerScript = res.BestScript
+			o := res.BestObjective
+			ai.WinnerObjective = &o
+			m = res.BestMetrics
+		}
+		if !math.IsInf(res.BaseObjective, 0) && !math.IsNaN(res.BaseObjective) {
+			b := res.BaseObjective
+			ai.BaseObjective = &b
+		}
+	}
+	j.mu.Lock()
+	j.tuneInfo = ai
+	j.mu.Unlock()
+	j.finish(m, 0, 0, err)
 }
 
 // finish moves the job to its terminal state and closes the trace

@@ -43,6 +43,7 @@ import (
 	"sync"
 	"time"
 
+	"tps/internal/autoflow"
 	"tps/internal/cell"
 	"tps/internal/netio"
 	"tps/internal/portfolio"
@@ -223,14 +224,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if j.seed == 0 {
 		j.seed = 1
 	}
-	if len(req.Entrants) > 0 {
+	switch {
+	case req.Autotune != nil && len(req.Entrants) > 0:
+		writeErr(w, http.StatusBadRequest, "a job is a race or an autotune search, not both")
+		return
+	case req.Autotune != nil:
+		spec, err := autotuneSpecFromRequest(&req, j.seed)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		j.tune = spec
+	case len(req.Entrants) > 0:
 		spec, err := raceSpecFromRequest(&req)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		j.race = spec
-	} else {
+	default:
 		if req.Scenario == "" {
 			writeErr(w, http.StatusBadRequest, "missing scenario script")
 			return
@@ -337,6 +349,72 @@ func raceSpecFromRequest(req *SubmitRequest) (*portfolio.Spec, error) {
 			Name: e.Name, Script: text, Seed: seed,
 			Bound: e.Bound, Params: e.Params,
 		})
+	}
+	return spec, nil
+}
+
+// autotuneSpecFromRequest validates an autotune submission and builds
+// the search spec the job will run. Per-run fields (Name, Workers,
+// Trace) are filled in at execution time. Validation here mirrors what
+// the search itself enforces so a bad spec fails at submit, not after
+// queueing.
+func autotuneSpecFromRequest(req *SubmitRequest, defaultSeed int64) (*autoflow.Spec, error) {
+	a := req.Autotune
+	base := a.Scenario
+	if base == "" {
+		base = req.Scenario
+	}
+	if base == "" {
+		return nil, fmt.Errorf("autotune needs a base scenario (autotune.scenario or the request's)")
+	}
+	if _, err := scenario.Parse(base); err != nil {
+		return nil, fmt.Errorf("autotune base scenario: %s", err.Error())
+	}
+	switch a.Objective {
+	case "", "slack", "tns", "wire":
+	default:
+		return nil, fmt.Errorf("unknown objective %q (want slack, tns, or wire)", a.Objective)
+	}
+	if a.DeadlineSec < 0 {
+		return nil, fmt.Errorf("negative deadline_sec")
+	}
+	if a.Offspring+1 > portfolio.MaxEntrants {
+		return nil, fmt.Errorf("offspring %d exceeds the race limit of %d entrants", a.Offspring, portfolio.MaxEntrants-1)
+	}
+	for _, name := range a.Freeze {
+		if scenario.Lookup(name) == nil {
+			return nil, fmt.Errorf("freeze names unknown transform %q", name)
+		}
+	}
+	for _, name := range a.Insert {
+		if scenario.Lookup(name) == nil {
+			return nil, fmt.Errorf("insert names unknown transform %q", name)
+		}
+	}
+	for _, d := range a.Params {
+		if !d.Valid() {
+			return nil, fmt.Errorf("bad param domain %q", d.Key)
+		}
+	}
+	seed := a.Seed
+	if seed == 0 {
+		seed = defaultSeed
+	}
+	spec := &autoflow.Spec{
+		Script:      base,
+		Objective:   a.Objective,
+		Population:  a.Population,
+		Offspring:   a.Offspring,
+		Generations: a.Generations,
+		Stall:       a.Stall,
+		Seed:        seed,
+		Deadline:    time.Duration(a.DeadlineSec * float64(time.Second)),
+		Freeze:      a.Freeze,
+		Insert:      a.Insert,
+		Params:      a.Params,
+	}
+	if a.Weights != nil {
+		spec.Weights = *a.Weights
 	}
 	return spec, nil
 }

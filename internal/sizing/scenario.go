@@ -9,6 +9,9 @@ func init() {
 	scenario.Register(scenario.Transform{
 		Name: "assign_gains", Doc: "assert a uniform gain on every sizeless gate (gain=4)",
 		Window: "init",
+		Params: []scenario.ParamDomain{
+			{Key: "gain", Kind: scenario.ParamFloat, Lo: 2, Hi: 8},
+		},
 		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
 			AssignGains(c.NL, a.Float("gain", 4))
 			return scenario.Report{}, nil
@@ -17,6 +20,9 @@ func init() {
 	scenario.Register(scenario.Transform{
 		Name: "discretize", Doc: "Algorithm PlacementDisc: virtual discretization below the cut status, actual at it (cut=30 virtual=1)",
 		Window: "every step", Structural: true,
+		Params: []scenario.ParamDomain{
+			{Key: "cut", Kind: scenario.ParamInt, Lo: 10, Hi: 60},
+		},
 		Guard: func(c *scenario.Context) bool {
 			// Discretization is done once timing went actual.
 			return c.Calc.Mode != delay.Actual
@@ -48,6 +54,9 @@ func init() {
 	scenario.Register(scenario.Transform{
 		Name: "size_area", Doc: "recover area on paths with slack above the margin (margin=50)",
 		Window: "20..30, 80..",
+		Params: []scenario.ParamDomain{
+			{Key: "margin", Kind: scenario.ParamFloat, Lo: 20, Hi: 120},
+		},
 		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
 			stop := c.Track("synthesis")
 			n := SizeForArea(c.NL, c.Eng, a.Margin(c, 50), c.Interrupted)
@@ -59,6 +68,10 @@ func init() {
 	scenario.Register(scenario.Transform{
 		Name: "size_speed", Doc: "upsize gates on critical paths (margin=60 budget=<scenario budget>)",
 		Window: "30..",
+		Params: []scenario.ParamDomain{
+			{Key: "margin", Kind: scenario.ParamFloat, Lo: 20, Hi: 120},
+			{Key: "budget", Kind: scenario.ParamInt, Lo: 8, Hi: 256},
+		},
 		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
 			stop := c.Track("synthesis")
 			n := SizeForSpeed(c.NL, c.Eng, c.Im, a.Margin(c, 60), a.Int("budget", 0), c.Interrupted)
@@ -70,6 +83,9 @@ func init() {
 	scenario.Register(scenario.Transform{
 		Name: "infootprint", Doc: "footprint-preserving resize (no placement perturbation; margin=60)",
 		Window: "final",
+		Params: []scenario.ParamDomain{
+			{Key: "margin", Kind: scenario.ParamFloat, Lo: 20, Hi: 120},
+		},
 		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
 			n := InFootprintResize(c.NL, c.Eng, a.Margin(c, 60), c.Interrupted)
 			c.Logf("in-footprint resizes: %d", n)

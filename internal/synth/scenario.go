@@ -25,6 +25,9 @@ func init() {
 	scenario.Register(scenario.Transform{
 		Name: "clone", Doc: "duplicate critical high-fanout drivers (budget=<scenario budget>)",
 		Window: "30..50",
+		Params: []scenario.ParamDomain{
+			{Key: "budget", Kind: scenario.ParamInt, Lo: 8, Hi: 256},
+		},
 		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
 			stop := c.Track("synthesis")
 			n := forScenario(c).CloneCritical(a.Int("budget", 0))
@@ -36,6 +39,9 @@ func init() {
 	scenario.Register(scenario.Transform{
 		Name: "buffer", Doc: "buffer critical long or high-fanout nets (budget=<scenario budget>)",
 		Window: "30..50",
+		Params: []scenario.ParamDomain{
+			{Key: "budget", Kind: scenario.ParamInt, Lo: 8, Hi: 256},
+		},
 		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
 			stop := c.Track("synthesis")
 			n := forScenario(c).BufferCritical(a.Int("budget", 0))
@@ -47,6 +53,9 @@ func init() {
 	scenario.Register(scenario.Transform{
 		Name: "pinswap", Doc: "swap commutative input pins on critical gates (budget=<scenario budget>)",
 		Window: "50..",
+		Params: []scenario.ParamDomain{
+			{Key: "budget", Kind: scenario.ParamInt, Lo: 8, Hi: 256},
+		},
 		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
 			stop := c.Track("synthesis")
 			n := forScenario(c).PinSwap(a.Int("budget", 0))
@@ -58,6 +67,9 @@ func init() {
 	scenario.Register(scenario.Transform{
 		Name: "remap", Doc: "remap critical gates to faster logic structures (budget=<scenario budget>)",
 		Window: "50..",
+		Params: []scenario.ParamDomain{
+			{Key: "budget", Kind: scenario.ParamInt, Lo: 8, Hi: 256},
+		},
 		Run: func(c *scenario.Context, a scenario.Args) (scenario.Report, error) {
 			stop := c.Track("synthesis")
 			n := forScenario(c).Remap(a.Int("budget", 0))

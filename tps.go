@@ -23,6 +23,7 @@ import (
 	"io"
 	"time"
 
+	"tps/internal/autoflow"
 	"tps/internal/cell"
 	"tps/internal/clockscan"
 	"tps/internal/congestion"
@@ -164,6 +165,41 @@ func TPSEntrants(n int, opt TPSOptions, baseSeed int64) []RaceEntrant {
 	return core.TPSEntrants(n, opt, baseSeed)
 }
 
+// AutotuneSpec configures an autoflow search: a base scenario script, an
+// objective, the µ+λ loop shape, mutation weights, frozen steps, and the
+// parameter domains mutation may draw from. See internal/autoflow.
+type AutotuneSpec = autoflow.Spec
+
+// AutotuneResult is a search outcome: the winning canonical script, its
+// measurements and design text, the hand-written baseline's objective,
+// and per-generation summaries.
+type AutotuneResult = autoflow.Result
+
+// MutationWeights biases the autoflow operator draw.
+type MutationWeights = autoflow.MutationWeights
+
+// ParamDomain declares one tunable parameter's legal values (int/float
+// range or enum). Transforms declare domains for their step arguments in
+// the registry; autotune specs add scenario-level `set` domains.
+type ParamDomain = scenario.ParamDomain
+
+// ErrNoAutotuneWinner reports a search in which no variant finished.
+var ErrNoAutotuneWinner = autoflow.ErrNoWinner
+
+// EvGenSummary / EvAutotuneVerdict are the autoflow search's own trace
+// records: one gen_summary per generation, one terminal
+// autotune_verdict after the last generation's variant flows.
+const (
+	EvGenSummary      = scenario.EvGenSummary
+	EvAutotuneVerdict = scenario.EvAutotuneVerdict
+)
+
+// ParseAutotuneSpec parses the `tpsflow -autotune` spec format. resolve
+// maps the spec's flow=/script= base-scenario reference to script text.
+func ParseAutotuneSpec(text string, resolve func(flow, script string) (string, error)) (*AutotuneSpec, error) {
+	return autoflow.ParseSpec(text, resolve)
+}
+
 // Design is a netlist with its physical frame, constraint, and analyzer
 // stack. One Design owns its netlist; run exactly one flow per Design and
 // regenerate (same seed = same design) to run another.
@@ -251,6 +287,18 @@ func (d *Design) SetTrace(t Tracer) { d.ctx.Trace = t }
 // error wraps ctx's; ErrNoWinner means no entrant finished.
 func (d *Design) Race(ctx context.Context, spec RaceSpec) (*RaceResult, error) {
 	return portfolio.Race(ctx, d.gd, spec)
+}
+
+// Autotune searches the scenario-script space from the design's current
+// state: the spec's base script is mutated through typed operators,
+// every generation's variants race as a portfolio from one shared
+// snapshot, and the best variant by the traced objective survives. The
+// design itself is only read; adopt the winner by loading
+// Result.BestDesign. The search is deterministic — same spec and seed
+// give a bit-identical winning script, Metrics, and AnalyzerStats at
+// any Workers width.
+func (d *Design) Autotune(ctx context.Context, spec AutotuneSpec) (*AutotuneResult, error) {
+	return autoflow.Search(ctx, d.gd, spec)
 }
 
 // Evaluate measures the design as it stands, without running a flow.
